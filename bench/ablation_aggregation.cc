@@ -1,0 +1,70 @@
+// Extension study: majority voting (the paper's quality-control baseline)
+// vs EM-based worker-reliability estimation (the "learning from crowds"
+// line of the paper's related work [32]) on the judgment streams of
+// Experiments 1–3. The interesting case is Experiment 1: EM discovers the
+// spammers' low reliability from vote agreement alone and recovers a
+// large share of the accuracy that majority voting loses — at zero extra
+// crowd cost.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/rng.h"
+#include "common/table_printer.h"
+#include "crowd/aggregation.h"
+#include "crowd/em_aggregation.h"
+#include "crowd/experiments.h"
+
+namespace {
+
+using namespace ccdb;  // NOLINT
+
+}  // namespace
+
+int main() {
+  benchutil::MovieContext context =
+      benchutil::MakeMovieContext(/*need_space=*/false);
+  Rng rng(4242);
+  std::vector<bool> sample_labels;
+  const std::vector<bool>& comedy = context.sources.majority[0];
+  for (std::size_t index : rng.SampleWithoutReplacement(
+           context.world.num_items(),
+           std::min<std::size_t>(1000, context.world.num_items()))) {
+    sample_labels.push_back(comedy[index]);
+  }
+
+  TablePrinter table({"Experiment", "Majority: cls / correct",
+                      "EM: cls / correct", "EM gain (pts)"});
+  const crowd::ExperimentSetup setups[3] = {
+      crowd::MakeExperiment1(), crowd::MakeExperiment2(),
+      crowd::MakeExperiment3()};
+  for (const crowd::ExperimentSetup& setup : setups) {
+    const crowd::CrowdRunResult run =
+        crowd::RunCrowdTask(setup.pool, sample_labels, setup.config);
+    const auto majority = crowd::Summarize(
+        crowd::MajorityVote(run.judgments, sample_labels.size(), 1e18),
+        sample_labels);
+    const auto em_result = crowd::EmAggregate(
+        run.judgments, sample_labels.size(), setup.pool.workers.size(),
+        crowd::EmAggregationConfig{});
+    const auto em = crowd::Summarize(em_result.classification, sample_labels);
+
+    table.AddRow(
+        {setup.name,
+         std::to_string(majority.num_classified) + " / " +
+             TablePrinter::Percent(majority.fraction_correct_of_classified),
+         std::to_string(em.num_classified) + " / " +
+             TablePrinter::Percent(em.fraction_correct_of_classified),
+         TablePrinter::Num(100.0 * (em.fraction_correct_of_classified -
+                                    majority.fraction_correct_of_classified),
+                           1)});
+  }
+
+  std::printf("\nExtension: majority voting vs EM reliability estimation "
+              "(same judgment streams as Table 1)\n");
+  std::printf("EM should sharply improve the spam-heavy Experiment 1 and "
+              "leave the clean experiments roughly unchanged.\n");
+  table.Print(std::cout);
+  return 0;
+}

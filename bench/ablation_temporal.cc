@@ -1,0 +1,80 @@
+// Extension study (the paper's Sec. 5 "changing taste over time" remark):
+// a drifting world — some items trend up, others age badly — is fit by
+// the static Euclidean-embedding model vs the time-binned variant.
+// Measured: rating RMSE (the temporal term's direct target) and comedy
+// extraction g-mean (the schema-expansion quality downstream of it).
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/stopwatch.h"
+#include "common/table_printer.h"
+#include "core/extractor.h"
+#include "core/perceptual_space.h"
+#include "data/domains.h"
+#include "eval/metrics.h"
+#include "factorization/sgd_trainer.h"
+
+namespace {
+
+using namespace ccdb;  // NOLINT
+
+}  // namespace
+
+int main() {
+  data::WorldConfig config =
+      data::MoviesConfig(benchutil::EnvDouble("CCDB_SCALE", 0.25));
+  config.mean_ratings_per_user = 200.0;
+  config.item_drift_stddev = 1.2;  // strong trends
+  data::SyntheticWorld world(config);
+  const RatingDataset ratings = world.SampleRatings();
+  std::vector<bool> comedy(world.num_items());
+  for (std::uint32_t m = 0; m < world.num_items(); ++m) {
+    comedy[m] = world.GenreLabel(0, m);
+  }
+  std::printf("Drifting world: %zu items, %zu ratings, drift σ = %.1f "
+              "rating points per timeline\n",
+              world.num_items(), ratings.num_ratings(),
+              config.item_drift_stddev);
+
+  TablePrinter table({"model", "holdout RMSE", "comedy g-mean (n=40)",
+                      "build time"});
+  for (std::size_t bins : {1u, 4u, 12u}) {
+    factorization::FactorModelConfig model_config;
+    model_config.dims = 50;
+    model_config.lambda = 0.02;
+    model_config.time_bins = bins;
+    model_config.timeline_days = config.timeline_days;
+    factorization::FactorModel model(model_config, ratings);
+
+    factorization::SgdTrainerConfig trainer;
+    trainer.max_epochs = 10;
+    trainer.learning_rate = 0.05;
+    trainer.validation_fraction = 0.1;
+    trainer.patience = 100;  // fixed-epoch comparison
+    Stopwatch stopwatch;
+    const auto report = factorization::TrainSgd(trainer, ratings, model);
+    const double seconds = stopwatch.ElapsedSeconds();
+
+    const core::PerceptualSpace space(model.item_factors(),
+                                      model.item_bias(),
+                                      model.global_mean());
+    const double gmean =
+        benchutil::MeanExtractionGMean(space, comedy, 40, 5, 77);
+
+    table.AddRow({bins == 1 ? "static (paper)" :
+                      std::to_string(bins) + " time bins",
+                  TablePrinter::Num(report.final_validation_rmse, 3),
+                  TablePrinter::Num(gmean),
+                  TablePrinter::Num(seconds, 1) + "s"});
+  }
+
+  std::printf("\nExtension: temporal dynamics (Sec. 5 'changing taste over "
+              "time')\n");
+  std::printf("Expected: time bins absorb the drift → lower RMSE; the "
+              "extraction quality stays comparable (genres live in the "
+              "geometry, not the drift).\n");
+  table.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,75 @@
+#ifndef CCDB_BENCH_BENCH_COMMON_H_
+#define CCDB_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/extractor.h"
+#include "core/perceptual_space.h"
+#include "data/domains.h"
+#include "data/expert_sources.h"
+#include "data/synthetic_world.h"
+
+namespace ccdb::benchutil {
+
+/// Environment-variable knobs shared by every bench binary:
+///   CCDB_SCALE   — world scale factor (default 1.0 → the paper's sizes)
+///   CCDB_REPS    — repetitions per experiment cell (paper uses 20)
+///   CCDB_DIMS    — perceptual-space dimensionality (paper: 100)
+///   CCDB_EPOCHS  — SGD epochs for the space build
+///   CCDB_THREADS — worker threads for parallel cells
+///   CCDB_NO_CACHE=1 — disable the on-disk space cache
+double EnvDouble(const char* name, double default_value);
+int EnvInt(const char* name, int default_value);
+bool EnvFlag(const char* name);
+
+/// Default space-build options honoring CCDB_DIMS / CCDB_EPOCHS.
+core::PerceptualSpaceOptions DefaultSpaceOptions();
+
+/// Builds the perceptual space for `ratings`, caching the result in
+/// ./ccdb_space_cache/<tag>-<fingerprint>.bin so that the bench suite pays
+/// the SGD cost only once per configuration.
+core::PerceptualSpace BuildOrLoadSpace(const RatingDataset& ratings,
+                                       const core::PerceptualSpaceOptions&
+                                           options,
+                                       const std::string& tag);
+
+/// The movie-domain evaluation context shared by most benches: the world,
+/// the three simulated expert sources (+ majority reference), and the
+/// perceptual space (unless skip_space).
+struct MovieContext {
+  data::SyntheticWorld world;
+  data::ExpertSources sources;
+  core::PerceptualSpace space;
+};
+MovieContext MakeMovieContext(bool need_space = true);
+
+/// Draws n positive + n negative training items for `labels` (the paper's
+/// balanced small samples of Sec. 4.3).
+struct BalancedSample {
+  std::vector<std::uint32_t> items;
+  std::vector<bool> labels;
+};
+BalancedSample DrawBalancedSample(const std::vector<bool>& labels,
+                                  std::size_t n, std::uint64_t seed);
+
+/// g-mean of training an RBF-SVM extractor on `sample` over `space` and
+/// classifying every item against `reference`. `options` defaults to the
+/// auto-scaled extractor configuration.
+double ExtractionGMean(const core::PerceptualSpace& space,
+                       const BalancedSample& sample,
+                       const std::vector<bool>& reference,
+                       const core::ExtractorOptions& options = {});
+
+/// Mean extraction g-mean over `reps` random balanced samples (cells of
+/// Tables 3, 5, 6). Also reports the stddev if `stddev_out` is non-null.
+double MeanExtractionGMean(const core::PerceptualSpace& space,
+                           const std::vector<bool>& reference, std::size_t n,
+                           int reps, std::uint64_t seed,
+                           double* stddev_out = nullptr,
+                           const core::ExtractorOptions& options = {});
+
+}  // namespace ccdb::benchutil
+
+#endif  // CCDB_BENCH_BENCH_COMMON_H_

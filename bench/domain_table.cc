@@ -1,0 +1,65 @@
+#include "domain_table.h"
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/table_printer.h"
+#include "common/thread_pool.h"
+
+namespace ccdb::benchutil {
+
+void RunDomainTable(const data::WorldConfig& config, const std::string& tag,
+                    const std::string& caption,
+                    const std::string& paper_note) {
+  const int reps = EnvInt("CCDB_REPS", 10);
+  data::SyntheticWorld world(config);
+  const RatingDataset ratings = world.SampleRatings();
+  const core::PerceptualSpace space =
+      BuildOrLoadSpace(ratings, DefaultSpaceOptions(), tag);
+
+  const std::size_t num_categories = world.num_genres();
+  constexpr std::size_t kSampleSizes[] = {10, 20, 40};
+  std::vector<std::vector<double>> results(num_categories,
+                                           std::vector<double>(3, 0.0));
+
+  ThreadPool pool(static_cast<std::size_t>(EnvInt("CCDB_THREADS", 0)));
+  pool.ParallelFor(0, num_categories * 3, [&](std::size_t cell) {
+    const std::size_t category = cell / 3;
+    const std::size_t n_index = cell % 3;
+    // Labels come from the world's single editorial source, as in the
+    // paper ("we had to rely on the possibly inaccurate categorization
+    // from a single website").
+    std::vector<bool> reference(world.num_items());
+    for (std::uint32_t m = 0; m < world.num_items(); ++m) {
+      reference[m] = world.GenreLabel(category, m);
+    }
+    results[category][n_index] =
+        MeanExtractionGMean(space, reference, kSampleSizes[n_index], reps,
+                            5000 + 97 * cell);
+  });
+
+  TablePrinter table({"Category", "n = 10", "n = 20", "n = 40"});
+  double means[3] = {0.0, 0.0, 0.0};
+  for (std::size_t category = 0; category < num_categories; ++category) {
+    std::string name = world.config().genres[category].name;
+    if (world.config().genres[category].factual) name += " (factual)";
+    table.AddRow({name, TablePrinter::Num(results[category][0]),
+                  TablePrinter::Num(results[category][1]),
+                  TablePrinter::Num(results[category][2])});
+    for (int i = 0; i < 3; ++i) means[i] += results[category][i];
+  }
+  table.AddSeparator();
+  table.AddRow({"Mean",
+                TablePrinter::Num(means[0] / num_categories),
+                TablePrinter::Num(means[1] / num_categories),
+                TablePrinter::Num(means[2] / num_categories)});
+
+  std::printf("\n%s (%zu items, %zu ratings, %d repetitions per cell)\n",
+              caption.c_str(), world.num_items(), ratings.num_ratings(),
+              reps);
+  std::printf("%s\n", paper_note.c_str());
+  table.Print(std::cout);
+}
+
+}  // namespace ccdb::benchutil

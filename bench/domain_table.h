@@ -1,0 +1,20 @@
+#ifndef CCDB_BENCH_DOMAIN_TABLE_H_
+#define CCDB_BENCH_DOMAIN_TABLE_H_
+
+#include <string>
+
+#include "data/synthetic_world.h"
+
+namespace ccdb::benchutil {
+
+/// Shared driver for Tables 5 and 6: builds the domain world + perceptual
+/// space and prints per-category g-means for n ∈ {10, 20, 40} (plus the
+/// mean row). `tag` keys the space cache; `paper_note` is printed under
+/// the caption.
+void RunDomainTable(const data::WorldConfig& config, const std::string& tag,
+                    const std::string& caption,
+                    const std::string& paper_note);
+
+}  // namespace ccdb::benchutil
+
+#endif  // CCDB_BENCH_DOMAIN_TABLE_H_

@@ -1,0 +1,61 @@
+// Reproduces Figure 3: "Correctly classified movies over time" — the
+// direct-crowd trajectories (Experiments 1–3) against their perceptual-
+// space-boosted counterparts (Experiments 4–6) on a relative time axis.
+//
+// Expected shape (paper): the boosted curves jump to a high level within
+// the first ~15% of the runtime and dominate their direct counterparts;
+// Exp. 6 plateaus slightly below its 93.5%-accurate training stream.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/table_printer.h"
+#include "figures_common.h"
+
+namespace {
+
+using namespace ccdb;  // NOLINT
+
+}  // namespace
+
+int main() {
+  benchutil::MovieContext context = benchutil::MakeMovieContext();
+  const std::vector<benchutil::BoostSeries> series =
+      benchutil::RunBoostingExperiments(context);
+  benchutil::WriteBoostCsv(series, "figure3_accuracy_over_time.csv");
+
+  TablePrinter table({"rel. time", "Exp1", "Exp2", "Exp3", "Exp4 (boost)",
+                      "Exp5 (boost)", "Exp6 (boost)"});
+  for (int step = 1; step <= 10; ++step) {
+    const double rel = step / 10.0;
+    std::vector<std::string> row = {TablePrinter::Num(rel, 1)};
+    for (int e = 0; e < 3; ++e) {
+      const benchutil::BoostPoint* point =
+          benchutil::PointAt(series[e], rel, /*use_money=*/false);
+      row.push_back(point == nullptr ? "0"
+                                     : std::to_string(point->crowd_correct));
+    }
+    for (int e = 0; e < 3; ++e) {
+      const benchutil::BoostPoint* point =
+          benchutil::PointAt(series[e], rel, /*use_money=*/false);
+      row.push_back(point == nullptr
+                        ? "0"
+                        : std::to_string(point->boosted_correct));
+    }
+    table.AddRow(std::move(row));
+  }
+
+  std::printf("\nFigure 3. Correctly classified movies (of 1,000) over "
+              "relative time\n");
+  std::printf("Runtimes: %s %.0f min, %s %.0f min, %s %.0f min "
+              "(paper: 105 / 116 / 562 min)\n",
+              series[0].crowd_name.c_str(), series[0].total_minutes,
+              series[1].crowd_name.c_str(), series[1].total_minutes,
+              series[2].crowd_name.c_str(), series[2].total_minutes);
+  table.Print(std::cout);
+  std::printf("Paper anchors: at 15 min Exp.4 classifies 538 correctly vs "
+              "349 for Exp.1; Exp.5 reaches 654; final values 670 / 766 / "
+              "831 vs 533 / 636 / 935·0.966≈903.\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+#ifndef CCDB_BENCH_FIGURES_COMMON_H_
+#define CCDB_BENCH_FIGURES_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace ccdb::benchutil {
+
+/// One time-series point of a boosting experiment (Figures 3 and 4).
+struct BoostPoint {
+  double minutes = 0.0;
+  double rel_time = 0.0;        // minutes / total runtime
+  double dollars = 0.0;
+  std::size_t crowd_classified = 0;
+  std::size_t crowd_correct = 0;    // Experiments 1–3 (direct crowd)
+  std::size_t boosted_correct = 0;  // Experiments 4–6 (space-boosted)
+  std::size_t training_size = 0;
+};
+
+/// One experiment's full trajectory.
+struct BoostSeries {
+  std::string crowd_name;    // e.g. "Exp. 1: All"
+  std::string boosted_name;  // e.g. "Exp. 4: All + space"
+  std::vector<BoostPoint> points;
+  double total_minutes = 0.0;
+  double total_dollars = 0.0;
+};
+
+/// Runs the three crowd experiments of Sec. 4.1 on a 1,000-movie sample
+/// and replays each judgment stream through the incremental boosting loop
+/// of Sec. 4.2 (retrain the SVM on current majorities every 5 minutes,
+/// classify the whole sample). Returns one series per experiment.
+std::vector<BoostSeries> RunBoostingExperiments(const MovieContext& context);
+
+/// Writes all series as CSV (columns: experiment, minutes, rel_time,
+/// dollars, crowd_correct, boosted_correct, training_size).
+void WriteBoostCsv(const std::vector<BoostSeries>& series,
+                   const std::string& path);
+
+/// Value of the series at the last point whose x (selected by
+/// `use_money`) does not exceed `x`; 0 before the first point.
+const BoostPoint* PointAt(const BoostSeries& series, double x,
+                          bool use_money);
+
+}  // namespace ccdb::benchutil
+
+#endif  // CCDB_BENCH_FIGURES_COMMON_H_

@@ -1,0 +1,155 @@
+// Google-benchmark micro benchmarks for the performance-critical kernels:
+// SGD training throughput, SMO training, RBF batch prediction, kNN
+// queries, majority voting, and SQL parsing. These quantify the costs the
+// paper's performance argument rests on (space build is offline; per-query
+// extraction is milliseconds).
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/extractor.h"
+#include "core/perceptual_space.h"
+#include "crowd/aggregation.h"
+#include "data/domains.h"
+#include "db/sql_parser.h"
+#include "eval/neighbors.h"
+#include "factorization/factor_model.h"
+#include "factorization/sgd_trainer.h"
+#include "lsi/lsi.h"
+#include "svm/classifier.h"
+
+namespace {
+
+using namespace ccdb;  // NOLINT
+
+const data::SyntheticWorld& TinyWorld() {
+  static const data::SyntheticWorld* const kWorld = [] {
+    data::WorldConfig config = data::TinyConfig();
+    config.num_items = 1000;
+    config.num_users = 2000;
+    config.mean_ratings_per_user = 60.0;
+    return new data::SyntheticWorld(config);
+  }();
+  return *kWorld;
+}
+
+const RatingDataset& TinyRatings() {
+  static const RatingDataset* const kRatings =
+      new RatingDataset(TinyWorld().SampleRatings());
+  return *kRatings;
+}
+
+const core::PerceptualSpace& TinySpace() {
+  static const core::PerceptualSpace* const kSpace = [] {
+    core::PerceptualSpaceOptions options;
+    options.model.dims = 50;
+    options.trainer.max_epochs = 8;
+    return new core::PerceptualSpace(
+        core::PerceptualSpace::Build(TinyRatings(), options));
+  }();
+  return *kSpace;
+}
+
+void BM_SgdEpoch(benchmark::State& state) {
+  const RatingDataset& ratings = TinyRatings();
+  factorization::FactorModelConfig config;
+  config.dims = static_cast<std::size_t>(state.range(0));
+  factorization::FactorModel model(config, ratings);
+  for (auto _ : state) {
+    for (const Rating& rating : ratings.ratings()) {
+      model.SgdStep(rating, 0.02);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(ratings.num_ratings()));
+}
+BENCHMARK(BM_SgdEpoch)->Arg(25)->Arg(100);
+
+void BM_SmoTrain(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(5);
+  Matrix x(n, 50);
+  x.FillGaussian(rng, 0.0, 1.0);
+  std::vector<std::int8_t> y(n);
+  for (std::size_t i = 0; i < n; ++i) y[i] = x(i, 0) > 0 ? 1 : -1;
+  svm::ClassifierOptions options;
+  options.cost = 10.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(svm::TrainClassifier(x, y, options));
+  }
+}
+BENCHMARK(BM_SmoTrain)->Arg(80)->Arg(400);
+
+void BM_RbfPredictAll(benchmark::State& state) {
+  const core::PerceptualSpace& space = TinySpace();
+  const std::vector<bool>& labels = TinyWorld().GenreLabels(0);
+  std::vector<std::uint32_t> items;
+  std::vector<bool> sample_labels;
+  for (std::uint32_t m = 0; m < 80; ++m) {
+    items.push_back(m);
+    sample_labels.push_back(labels[m]);
+  }
+  core::BinaryAttributeExtractor extractor;
+  extractor.Train(space, items, sample_labels);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(extractor.ExtractAll(space));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(space.num_items()));
+}
+BENCHMARK(BM_RbfPredictAll);
+
+void BM_KnnQuery(benchmark::State& state) {
+  const core::PerceptualSpace& space = TinySpace();
+  std::uint32_t query = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(space.NearestNeighbors(query, 5));
+    query = (query + 1) % space.num_items();
+  }
+}
+BENCHMARK(BM_KnnQuery);
+
+void BM_MajorityVote(benchmark::State& state) {
+  Rng rng(9);
+  std::vector<crowd::Judgment> judgments(10000);
+  for (auto& judgment : judgments) {
+    judgment.item = static_cast<std::uint32_t>(rng.UniformInt(1000));
+    judgment.answer = rng.Bernoulli(0.5) ? crowd::Answer::kPositive
+                                         : crowd::Answer::kNegative;
+    judgment.timestamp_minutes = rng.Uniform(0, 100);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crowd::MajorityVote(judgments, 1000, 50.0));
+  }
+}
+BENCHMARK(BM_MajorityVote);
+
+void BM_SqlParse(benchmark::State& state) {
+  const std::string sql =
+      "SELECT name, year FROM movies WHERE (is_comedy = true AND humor >= "
+      "8) OR NOT genre = 'horror' ORDER BY humor DESC LIMIT 25";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db::ParseSelect(sql));
+  }
+}
+BENCHMARK(BM_SqlParse);
+
+void BM_LsiBuild(benchmark::State& state) {
+  Rng rng(11);
+  std::vector<lsi::Document> documents(500);
+  for (auto& doc : documents) {
+    for (int t = 0; t < 12; ++t) {
+      doc.push_back("tok" + std::to_string(rng.UniformInt(2000)));
+    }
+  }
+  lsi::LsiOptions options;
+  options.dims = 50;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lsi::BuildLsiSpace(documents, options));
+  }
+}
+BENCHMARK(BM_LsiBuild);
+
+}  // namespace
+
+BENCHMARK_MAIN();

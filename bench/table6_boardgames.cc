@@ -1,0 +1,22 @@
+// Reproduces Table 6: "Results for board games" — schema expansion from
+// small samples on the BGG-like world (paper crawl: 32,337 games, 73.7K
+// users, 3.5M ratings; default here is a 0.25 scale, override with
+// CCDB_SCALE).
+//
+// Paper means: 0.63 / 0.68 / 0.73; truly perceptual categories ("Party
+// Game") clearly beat factual ones ("Modular Board" 0.47–0.52).
+
+#include "bench_common.h"
+#include "data/domains.h"
+#include "domain_table.h"
+
+int main() {
+  const double scale = ccdb::benchutil::EnvDouble("CCDB_SCALE", 0.25);
+  ccdb::benchutil::RunDomainTable(
+      ccdb::data::BoardGamesConfig(scale), "boardgames",
+      "Table 6. Results for board games (g-mean, n positive + n negative "
+      "training examples)",
+      "Paper means: 0.63 / 0.68 / 0.73; factual categories (e.g. Modular "
+      "Board, paper 0.47-0.52) are near-unlearnable from ratings.");
+  return 0;
+}

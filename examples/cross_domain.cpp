@@ -1,0 +1,77 @@
+// Sec. 4.5: the approach generalizes beyond movies. This example runs the
+// same schema-expansion pipeline on the restaurant and board-game worlds
+// and contrasts perceptual categories (learnable from rating geometry)
+// with factual ones (not learnable, by construction and by the paper's
+// argument).
+//
+// Build & run:  ./build/examples/cross_domain
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "core/extractor.h"
+#include "core/perceptual_space.h"
+#include "data/domains.h"
+#include "eval/metrics.h"
+
+using namespace ccdb;  // NOLINT — example code
+
+namespace {
+
+void RunDomain(const char* title, const data::WorldConfig& config,
+               std::size_t max_categories) {
+  data::SyntheticWorld world(config);
+  const RatingDataset ratings = world.SampleRatings();
+  std::printf("\n=== %s: %zu items, %zu ratings ===\n", title,
+              world.num_items(), ratings.num_ratings());
+  core::PerceptualSpaceOptions options;
+  options.model.dims = 50;
+  options.trainer.max_epochs = 10;
+  const core::PerceptualSpace space =
+      core::PerceptualSpace::Build(ratings, options);
+
+  for (std::size_t g = 0; g < std::min(world.num_genres(), max_categories);
+       ++g) {
+    const data::GenreSpec& spec = world.config().genres[g];
+    std::vector<bool> reference(world.num_items());
+    for (std::uint32_t m = 0; m < world.num_items(); ++m) {
+      reference[m] = world.GenreLabel(g, m);
+    }
+    // 20 positive + 20 negative gold labels.
+    Rng rng(100 + g);
+    std::vector<std::uint32_t> items;
+    std::vector<bool> labels;
+    std::size_t positives = 0, negatives = 0;
+    for (std::size_t index : rng.SampleWithoutReplacement(
+             world.num_items(), world.num_items())) {
+      const auto item = static_cast<std::uint32_t>(index);
+      if (reference[item] && positives < 20) {
+        ++positives;
+      } else if (!reference[item] && negatives < 20) {
+        ++negatives;
+      } else {
+        continue;
+      }
+      items.push_back(item);
+      labels.push_back(reference[item]);
+    }
+    core::BinaryAttributeExtractor extractor;
+    if (!extractor.Train(space, items, labels)) continue;
+    const auto predicted = extractor.ExtractAll(space);
+    const double gmean =
+        eval::GMean(eval::CountConfusion(predicted, reference));
+    std::printf("  %-28s g-mean %.2f%s\n", spec.name.c_str(), gmean,
+                spec.factual ? "  (factual — expected near chance)" : "");
+  }
+}
+
+}  // namespace
+
+int main() {
+  RunDomain("Restaurants (yelp-like)", data::RestaurantsConfig(0.2), 5);
+  RunDomain("Board games (BGG-like)", data::BoardGamesConfig(0.05), 8);
+  std::printf("\nTakeaway: perceptual categories transfer across domains; "
+              "factual ones (e.g. 'Modular Board') cannot be inferred from "
+              "rating behavior — crowd-source those directly.\n");
+  return 0;
+}

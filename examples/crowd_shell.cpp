@@ -1,0 +1,129 @@
+// Interactive crowd-enabled SQL shell over a generated movie world.
+//
+// Launch, then type SELECT statements; referencing the registered
+// perceptual attributes (`is_comedy`, `is_horror`, `humor`) triggers
+// query-driven schema expansion on first use. `\help` lists commands.
+//
+// Build & run:  ./build/examples/crowd_shell
+// Non-interactive smoke test: pipe a query into stdin, e.g.
+//   echo "SELECT COUNT(*) FROM movies" | ./build/examples/crowd_shell
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common/stopwatch.h"
+#include "core/perceptual_space.h"
+#include "core/resolver.h"
+#include "data/domains.h"
+#include "db/database.h"
+
+using namespace ccdb;  // NOLINT — example code
+
+int main() {
+  // Build the world and its perceptual space (scaled down for startup
+  // latency; the shell is about the query experience).
+  std::printf("ccdb shell — generating movie world…\n");
+  data::SyntheticWorld world(data::MoviesConfig(0.08));
+  const RatingDataset ratings = world.SampleRatings();
+  std::printf("  %zu movies, %zu ratings; factorizing…\n",
+              world.num_items(), ratings.num_ratings());
+  core::PerceptualSpaceOptions space_options;
+  space_options.model.dims = 50;
+  space_options.trainer.max_epochs = 10;
+  const core::PerceptualSpace space =
+      core::PerceptualSpace::Build(ratings, space_options);
+
+  db::Schema schema({{"item_id", db::ColumnType::kInt},
+                     {"name", db::ColumnType::kString},
+                     {"cluster", db::ColumnType::kInt}});
+  db::Table movies("movies", schema);
+  for (std::uint32_t m = 0; m < world.num_items(); ++m) {
+    (void)movies.AppendRow({db::Value(static_cast<std::int64_t>(m)),
+                            db::Value(world.ItemName(m)),
+                            db::Value(static_cast<std::int64_t>(
+                                world.ClusterOf(m)))});
+  }
+  db::Database database;
+  (void)database.AddTable(std::move(movies));
+
+  crowd::WorkerPool pool;
+  for (int i = 0; i < 12; ++i) {
+    crowd::WorkerProfile worker;
+    worker.honest = true;
+    worker.knowledge = 0.9;
+    worker.accuracy = 0.93;
+    worker.judgments_per_minute = 2.5;
+    pool.workers.push_back(worker);
+  }
+  crowd::HitRunConfig hit_config;
+  hit_config.judgments_per_item = 5;
+  hit_config.perception_flip_rate = 0.05;
+
+  core::PerceptualExpansionResolver resolver(&space, pool, hit_config);
+  core::PerceptualAttributeSpec comedy;
+  comedy.type = db::ColumnType::kBool;
+  comedy.gold_sample_size = 80;
+  comedy.bool_truth = [&world](std::uint32_t item) {
+    return world.GenreLabel(0, item);
+  };
+  resolver.RegisterAttribute("is_comedy", std::move(comedy));
+
+  core::PerceptualAttributeSpec horror;
+  horror.type = db::ColumnType::kBool;
+  horror.gold_sample_size = 80;
+  horror.bool_truth = [&world](std::uint32_t item) {
+    return world.GenreLabel(4, item);
+  };
+  resolver.RegisterAttribute("is_horror", std::move(horror));
+
+  core::PerceptualAttributeSpec humor;
+  humor.type = db::ColumnType::kDouble;
+  humor.gold_sample_size = 60;
+  humor.numeric_truth = [&world](std::uint32_t item) {
+    return 5.0 + std::tanh(world.item_traits()(item, 0) * 6.0) * 4.0;
+  };
+  resolver.RegisterAttribute("humor", std::move(humor));
+  database.SetResolver(&resolver);
+
+  std::printf(
+      "Ready. Perceptual attributes available for expansion: is_comedy, "
+      "is_horror, humor.\nTry:\n"
+      "  SELECT name FROM movies WHERE is_comedy = true LIMIT 5\n"
+      "  SELECT cluster, COUNT(*), AVG(humor) FROM movies GROUP BY cluster "
+      "ORDER BY avg(humor) DESC LIMIT 5\n"
+      "Commands: \\help, \\schema, \\quit\n\n");
+
+  std::string line;
+  while (std::printf("ccdb> "), std::fflush(stdout),
+         std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    if (line == "\\quit" || line == "\\q") break;
+    if (line == "\\help") {
+      std::printf("SELECT items FROM movies [WHERE …] [GROUP BY col] "
+                  "[ORDER BY col [DESC]] [LIMIT n]\n"
+                  "\\schema — show the movies schema\n\\quit — exit\n");
+      continue;
+    }
+    if (line == "\\schema") {
+      const db::Table* table = database.FindTable("movies");
+      for (const auto& column : table->schema().columns()) {
+        std::printf("  %-12s %s\n", db::ColumnTypeName(column.type),
+                    column.name.c_str());
+      }
+      continue;
+    }
+    Stopwatch stopwatch;
+    auto result = database.Execute(line);
+    if (!result.ok()) {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+      continue;
+    }
+    std::printf("%s(%zu rows, %.1f ms)\n",
+                result.value().ToText(25).c_str(),
+                result.value().num_rows(), stopwatch.ElapsedMillis());
+  }
+  std::printf("bye\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+#ifndef CCDB_COMMON_CHECK_H_
+#define CCDB_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace ccdb {
+namespace internal_check {
+
+/// Terminates the process after printing `message` with source location.
+/// Used by the CHECK macros below for unrecoverable programming errors;
+/// the library does not throw exceptions.
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const std::string& message) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line,
+               message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal_check
+}  // namespace ccdb
+
+/// Aborts with a diagnostic when `condition` is false. Use for invariant
+/// violations that indicate a bug, never for recoverable runtime errors.
+#define CCDB_CHECK(condition)                                            \
+  do {                                                                   \
+    if (!(condition)) {                                                  \
+      ::ccdb::internal_check::CheckFailed(__FILE__, __LINE__,            \
+                                          "condition: " #condition);     \
+    }                                                                    \
+  } while (0)
+
+/// CHECK with an extra streamed message, e.g.
+/// CCDB_CHECK_MSG(i < n, "index " << i << " out of range " << n).
+#define CCDB_CHECK_MSG(condition, stream_expr)                           \
+  do {                                                                   \
+    if (!(condition)) {                                                  \
+      std::ostringstream ccdb_check_oss;                                 \
+      ccdb_check_oss << "condition: " #condition << " — " << stream_expr; \
+      ::ccdb::internal_check::CheckFailed(__FILE__, __LINE__,            \
+                                          ccdb_check_oss.str());         \
+    }                                                                    \
+  } while (0)
+
+#define CCDB_CHECK_EQ(a, b) CCDB_CHECK_MSG((a) == (b), (a) << " vs " << (b))
+#define CCDB_CHECK_NE(a, b) CCDB_CHECK_MSG((a) != (b), (a) << " vs " << (b))
+#define CCDB_CHECK_LT(a, b) CCDB_CHECK_MSG((a) < (b), (a) << " vs " << (b))
+#define CCDB_CHECK_LE(a, b) CCDB_CHECK_MSG((a) <= (b), (a) << " vs " << (b))
+#define CCDB_CHECK_GT(a, b) CCDB_CHECK_MSG((a) > (b), (a) << " vs " << (b))
+#define CCDB_CHECK_GE(a, b) CCDB_CHECK_MSG((a) >= (b), (a) << " vs " << (b))
+
+#endif  // CCDB_COMMON_CHECK_H_

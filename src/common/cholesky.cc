@@ -1,0 +1,51 @@
+#include "common/cholesky.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace ccdb {
+
+bool CholeskyFactorize(Matrix& a) {
+  const std::size_t n = a.rows();
+  CCDB_CHECK_EQ(n, a.cols());
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) diag -= a(j, k) * a(j, k);
+    if (diag <= 0.0) return false;
+    const double pivot = std::sqrt(diag);
+    a(j, j) = pivot;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double value = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) value -= a(i, k) * a(j, k);
+      a(i, j) = value / pivot;
+    }
+  }
+  return true;
+}
+
+bool SolveSpd(const Matrix& a, const std::vector<double>& b,
+              std::vector<double>& x) {
+  const std::size_t n = a.rows();
+  CCDB_CHECK_EQ(b.size(), n);
+  Matrix factor = a;
+  if (!CholeskyFactorize(factor)) return false;
+
+  // Forward substitution: L·y = b.
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double value = b[i];
+    for (std::size_t k = 0; k < i; ++k) value -= factor(i, k) * y[k];
+    y[i] = value / factor(i, i);
+  }
+  // Backward substitution: Lᵀ·x = y.
+  x.assign(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double value = y[i];
+    for (std::size_t k = i + 1; k < n; ++k) value -= factor(k, i) * x[k];
+    x[i] = value / factor(i, i);
+  }
+  return true;
+}
+
+}  // namespace ccdb

@@ -1,0 +1,23 @@
+#ifndef CCDB_COMMON_CHOLESKY_H_
+#define CCDB_COMMON_CHOLESKY_H_
+
+#include <vector>
+
+#include "common/matrix.h"
+
+namespace ccdb {
+
+/// Solves A·x = b for a symmetric positive-definite A via Cholesky
+/// factorization (A = L·Lᵀ, forward/backward substitution). Used by the
+/// ALS trainer's per-item/per-user ridge regressions. Returns false when
+/// A is not (numerically) positive definite; x is left unspecified then.
+bool SolveSpd(const Matrix& a, const std::vector<double>& b,
+              std::vector<double>& x);
+
+/// In-place Cholesky factorization: on success `a` holds L in its lower
+/// triangle. Returns false if a non-positive pivot is encountered.
+bool CholeskyFactorize(Matrix& a);
+
+}  // namespace ccdb
+
+#endif  // CCDB_COMMON_CHOLESKY_H_

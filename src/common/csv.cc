@@ -1,0 +1,74 @@
+#include "common/csv.h"
+
+#include <sstream>
+
+namespace ccdb {
+
+void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) os_ << ',';
+    os_ << Escape(fields[i]);
+  }
+  os_ << '\n';
+}
+
+void CsvWriter::WriteNumericRow(const std::vector<double>& values) {
+  std::vector<std::string> fields;
+  fields.reserve(values.size());
+  for (double v : values) {
+    std::ostringstream oss;
+    oss.precision(12);
+    oss << v;
+    fields.push_back(oss.str());
+  }
+  WriteRow(fields);
+}
+
+std::string CsvWriter::Escape(const std::string& field) {
+  const bool needs_quoting =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quoting) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+StatusOr<std::vector<std::string>> ParseCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current += c;
+      }
+    } else if (c == '"') {
+      if (!current.empty()) {
+        return Status::InvalidArgument("quote inside unquoted field");
+      }
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  if (in_quotes) return Status::InvalidArgument("unterminated quoted field");
+  fields.push_back(current);
+  return fields;
+}
+
+}  // namespace ccdb

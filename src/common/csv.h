@@ -1,0 +1,38 @@
+#ifndef CCDB_COMMON_CSV_H_
+#define CCDB_COMMON_CSV_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ccdb {
+
+/// Minimal CSV writer used by figure benches and examples to export data
+/// series (one header row, then data rows). Fields containing commas,
+/// quotes, or newlines are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  /// Writes to the given stream (not owned; must outlive the writer).
+  explicit CsvWriter(std::ostream& os) : os_(os) {}
+
+  /// Writes one row of fields.
+  void WriteRow(const std::vector<std::string>& fields);
+
+  /// Convenience: writes a row of doubles with full precision.
+  void WriteNumericRow(const std::vector<double>& values);
+
+ private:
+  static std::string Escape(const std::string& field);
+
+  std::ostream& os_;
+};
+
+/// Parses a single CSV line into fields (handles quoting). Returns an
+/// error Status on malformed quoting.
+StatusOr<std::vector<std::string>> ParseCsvLine(const std::string& line);
+
+}  // namespace ccdb
+
+#endif  // CCDB_COMMON_CSV_H_

@@ -1,0 +1,117 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace ccdb {
+namespace {
+
+std::uint64_t SplitMix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = SplitMix64(s);
+}
+
+std::uint64_t Rng::NextUint64() {
+  const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::Uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+std::uint64_t Rng::UniformInt(std::uint64_t n) {
+  CCDB_CHECK_GT(n, 0u);
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = ~0ull - (~0ull % n);
+  std::uint64_t x;
+  do {
+    x = NextUint64();
+  } while (x >= limit);
+  return x % n;
+}
+
+double Rng::Gaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u1;
+  do {
+    u1 = Uniform();
+  } while (u1 <= 1e-300);
+  const double u2 = Uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * M_PI * u2;
+  cached_gaussian_ = radius * std::sin(angle);
+  has_cached_gaussian_ = true;
+  return radius * std::cos(angle);
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  return mean + stddev * Gaussian();
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return Uniform() < p;
+}
+
+std::size_t Rng::Categorical(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    CCDB_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  CCDB_CHECK_GT(total, 0.0);
+  double target = Uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target < 0.0) return i;
+  }
+  return weights.size() - 1;  // Floating-point slack: last positive bucket.
+}
+
+std::vector<std::size_t> Rng::SampleWithoutReplacement(std::size_t n,
+                                                       std::size_t k) {
+  CCDB_CHECK_LE(k, n);
+  // Partial Fisher–Yates over an index vector; O(n) memory, O(n + k) time.
+  std::vector<std::size_t> indices(n);
+  for (std::size_t i = 0; i < n; ++i) indices[i] = i;
+  for (std::size_t i = 0; i < k; ++i) {
+    std::size_t j = i + static_cast<std::size_t>(UniformInt(n - i));
+    std::swap(indices[i], indices[j]);
+  }
+  indices.resize(k);
+  return indices;
+}
+
+Rng Rng::Split() { return Rng(NextUint64()); }
+
+}  // namespace ccdb

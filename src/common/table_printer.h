@@ -1,0 +1,43 @@
+#ifndef CCDB_COMMON_TABLE_PRINTER_H_
+#define CCDB_COMMON_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ccdb {
+
+/// Renders aligned plain-text tables, used by every bench binary to print
+/// the rows of the corresponding paper table. Cells are strings; helpers
+/// format numbers with fixed precision.
+class TablePrinter {
+ public:
+  /// Creates a printer with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a data row; must have exactly as many cells as headers.
+  void AddRow(std::vector<std::string> row);
+
+  /// Inserts a horizontal separator line before the next row.
+  void AddSeparator();
+
+  /// Writes the table with per-column alignment padding.
+  void Print(std::ostream& os) const;
+
+  /// Formats a double with `precision` decimal places.
+  static std::string Num(double value, int precision = 2);
+
+  /// Formats "p / r" precision-recall pairs as used by Table 4.
+  static std::string PrecRec(double precision, double recall);
+
+  /// Formats a percentage with one decimal, e.g. "59.7%".
+  static std::string Percent(double fraction);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == separator
+};
+
+}  // namespace ccdb
+
+#endif  // CCDB_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,56 @@
+#ifndef CCDB_COMMON_THREAD_POOL_H_
+#define CCDB_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace ccdb {
+
+/// Fixed-size worker pool. Used to parallelize embarrassingly parallel
+/// loops (per-genre experiment repetitions, SVM batch prediction). Tasks
+/// must not throw — the library is exception-free.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (>= 1; defaults to hardware concurrency).
+  explicit ThreadPool(std::size_t num_threads = 0);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains outstanding work and joins all workers.
+  ~ThreadPool();
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  /// Runs body(i) for i in [begin, end), partitioned into contiguous chunks
+  /// across the pool, and blocks until complete. body must be thread-safe
+  /// across distinct indices.
+  void ParallelFor(std::size_t begin, std::size_t end,
+                   const std::function<void(std::size_t)>& body);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  std::size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace ccdb
+
+#endif  // CCDB_COMMON_THREAD_POOL_H_

@@ -1,0 +1,89 @@
+#include "common/vec.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace ccdb {
+
+double Dot(std::span<const double> x, std::span<const double> y) {
+  CCDB_CHECK_EQ(x.size(), y.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+double SquaredDistance(std::span<const double> x, std::span<const double> y) {
+  CCDB_CHECK_EQ(x.size(), y.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double diff = x[i] - y[i];
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+double Distance(std::span<const double> x, std::span<const double> y) {
+  return std::sqrt(SquaredDistance(x, y));
+}
+
+double Norm(std::span<const double> x) { return std::sqrt(SquaredNorm(x)); }
+
+double SquaredNorm(std::span<const double> x) {
+  double acc = 0.0;
+  for (double v : x) acc += v * v;
+  return acc;
+}
+
+void Axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  CCDB_CHECK_EQ(x.size(), y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void Scale(double alpha, std::span<double> x) {
+  for (double& v : x) v *= alpha;
+}
+
+double Sum(std::span<const double> x) {
+  double acc = 0.0;
+  for (double v : x) acc += v;
+  return acc;
+}
+
+double Mean(std::span<const double> x) {
+  CCDB_CHECK(!x.empty());
+  return Sum(x) / static_cast<double>(x.size());
+}
+
+double Variance(std::span<const double> x) {
+  CCDB_CHECK(!x.empty());
+  const double mean = Mean(x);
+  double acc = 0.0;
+  for (double v : x) acc += (v - mean) * (v - mean);
+  return acc / static_cast<double>(x.size());
+}
+
+double PearsonCorrelation(std::span<const double> x,
+                          std::span<const double> y) {
+  CCDB_CHECK_EQ(x.size(), y.size());
+  CCDB_CHECK(!x.empty());
+  const double mx = Mean(x);
+  const double my = Mean(y);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+void NormalizeInPlace(std::span<double> x) {
+  const double norm = Norm(x);
+  if (norm > 0.0) Scale(1.0 / norm, x);
+}
+
+}  // namespace ccdb

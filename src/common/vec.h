@@ -1,0 +1,54 @@
+#ifndef CCDB_COMMON_VEC_H_
+#define CCDB_COMMON_VEC_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ccdb {
+
+/// Dense vector kernels used throughout the factorization and SVM code.
+/// All functions operate on std::span<const double> so they work on raw
+/// matrix rows without copies; sizes must match (checked).
+
+/// Dot product of x and y.
+double Dot(std::span<const double> x, std::span<const double> y);
+
+/// Squared Euclidean distance ‖x − y‖².
+double SquaredDistance(std::span<const double> x, std::span<const double> y);
+
+/// Euclidean distance ‖x − y‖.
+double Distance(std::span<const double> x, std::span<const double> y);
+
+/// Euclidean norm ‖x‖.
+double Norm(std::span<const double> x);
+
+/// Squared Euclidean norm ‖x‖².
+double SquaredNorm(std::span<const double> x);
+
+/// y += alpha * x.
+void Axpy(double alpha, std::span<const double> x, std::span<double> y);
+
+/// x *= alpha.
+void Scale(double alpha, std::span<double> x);
+
+/// Sum of all entries.
+double Sum(std::span<const double> x);
+
+/// Arithmetic mean; requires non-empty input.
+double Mean(std::span<const double> x);
+
+/// Population variance (divides by n); requires non-empty input.
+double Variance(std::span<const double> x);
+
+/// Pearson correlation of two equally sized, non-constant samples.
+/// Returns 0 if either sample has zero variance.
+double PearsonCorrelation(std::span<const double> x,
+                          std::span<const double> y);
+
+/// Normalizes x to unit Euclidean norm in place; leaves zero vectors alone.
+void NormalizeInPlace(std::span<double> x);
+
+}  // namespace ccdb
+
+#endif  // CCDB_COMMON_VEC_H_

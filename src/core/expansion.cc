@@ -1,0 +1,88 @@
+#include "core/expansion.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace ccdb::core {
+
+std::vector<ExpansionCheckpoint> RunIncrementalExpansion(
+    const PerceptualSpace& space,
+    const std::vector<std::uint32_t>& sample_items,
+    const std::vector<crowd::Judgment>& judgments, double total_minutes,
+    const IncrementalExpansionOptions& options) {
+  CCDB_CHECK_GT(options.checkpoint_interval_minutes, 0.0);
+  const std::size_t sample_size = sample_items.size();
+
+  std::vector<ExpansionCheckpoint> checkpoints;
+  for (double t = options.checkpoint_interval_minutes;;
+       t += options.checkpoint_interval_minutes) {
+    const double now = std::min(t, total_minutes);
+    ExpansionCheckpoint checkpoint;
+    checkpoint.minutes = now;
+    checkpoint.dollars_spent = crowd::CostUpTo(judgments, now);
+    checkpoint.crowd_classification =
+        crowd::MajorityVote(judgments, sample_size, now);
+
+    // Training set = items with a clear majority so far.
+    std::vector<std::uint32_t> training_items;
+    std::vector<bool> training_labels;
+    for (std::size_t i = 0; i < sample_size; ++i) {
+      if (checkpoint.crowd_classification[i].has_value()) {
+        training_items.push_back(sample_items[i]);
+        training_labels.push_back(*checkpoint.crowd_classification[i]);
+      }
+    }
+    checkpoint.training_size = training_items.size();
+
+    BinaryAttributeExtractor extractor(options.extractor);
+    if (extractor.Train(space, training_items, training_labels)) {
+      checkpoint.extractor_trained = true;
+      // Extract for the sample only (the experiment's universe).
+      checkpoint.extracted.resize(sample_size);
+      for (std::size_t i = 0; i < sample_size; ++i) {
+        checkpoint.extracted[i] = extractor.Extract(space, sample_items[i]);
+      }
+    }
+    checkpoints.push_back(std::move(checkpoint));
+    if (now >= total_minutes) break;
+  }
+  return checkpoints;
+}
+
+SchemaExpansionResult ExpandSchema(const PerceptualSpace& space,
+                                   const SchemaExpansionRequest& request,
+                                   const crowd::WorkerPool& pool,
+                                   const crowd::HitRunConfig& hit_config,
+                                   const std::vector<bool>& sample_truth) {
+  CCDB_CHECK_EQ(request.gold_sample_items.size(), sample_truth.size());
+  CCDB_CHECK(!request.gold_sample_items.empty());
+
+  SchemaExpansionResult result;
+  const crowd::CrowdRunResult run =
+      crowd::RunCrowdTask(pool, sample_truth, hit_config);
+  result.crowd_minutes = run.total_minutes;
+  result.crowd_dollars = run.total_cost_dollars;
+
+  const auto classification = crowd::MajorityVote(
+      run.judgments, request.gold_sample_items.size(), run.total_minutes);
+  std::vector<std::uint32_t> training_items;
+  std::vector<bool> training_labels;
+  for (std::size_t i = 0; i < classification.size(); ++i) {
+    if (classification[i].has_value()) {
+      training_items.push_back(request.gold_sample_items[i]);
+      training_labels.push_back(*classification[i]);
+    }
+  }
+  result.gold_sample_classified = training_items.size();
+
+  BinaryAttributeExtractor extractor(request.extractor);
+  if (!extractor.Train(space, training_items, training_labels)) {
+    return result;  // success stays false
+  }
+  result.values = extractor.ExtractAll(space);
+  result.success = true;
+  return result;
+}
+
+}  // namespace ccdb::core

@@ -1,0 +1,83 @@
+#ifndef CCDB_CORE_EXPANSION_H_
+#define CCDB_CORE_EXPANSION_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/extractor.h"
+#include "core/perceptual_space.h"
+#include "crowd/aggregation.h"
+#include "crowd/platform.h"
+
+namespace ccdb::core {
+
+/// One checkpoint of the incremental boosting loop (Experiments 4–6 /
+/// Figures 3–4): the state of the expansion at a point in crowd time.
+struct ExpansionCheckpoint {
+  double minutes = 0.0;
+  double dollars_spent = 0.0;
+  /// Items with a clear crowd majority at this time (the training set).
+  std::size_t training_size = 0;
+  /// Crowd-only classification at this time (nullopt = unclassified).
+  std::vector<std::optional<bool>> crowd_classification;
+  /// Perceptual-space extraction for *all* items at this time; empty until
+  /// the training set contains both classes.
+  std::vector<bool> extracted;
+  bool extractor_trained = false;
+};
+
+/// Options for the incremental loop.
+struct IncrementalExpansionOptions {
+  /// Retrain cadence: "every 5 minutes, all movies currently classified by
+  /// the crowd-workers are added to [the training set]" (Experiment 4).
+  double checkpoint_interval_minutes = 5.0;
+  ExtractorOptions extractor;
+};
+
+/// Replays a crowd judgment stream over the sample `sample_items` (crowd
+/// item id i corresponds to space item sample_items[i]), re-training the
+/// extractor at every checkpoint on the currently majority-classified
+/// items and extracting labels for the entire sample. The benches score
+/// each checkpoint against reference labels to draw Figures 3 and 4.
+std::vector<ExpansionCheckpoint> RunIncrementalExpansion(
+    const PerceptualSpace& space,
+    const std::vector<std::uint32_t>& sample_items,
+    const std::vector<crowd::Judgment>& judgments,
+    double total_minutes, const IncrementalExpansionOptions& options);
+
+/// End-to-end schema expansion (the Figure 2 workflow): crowd-source a
+/// gold sample for the new attribute, train the extractor, and return
+/// values for every item of the space.
+struct SchemaExpansionRequest {
+  /// Name of the new attribute (for reporting only).
+  std::string attribute_name;
+  /// Items to crowd-source as the gold sample.
+  std::vector<std::uint32_t> gold_sample_items;
+  ExtractorOptions extractor;
+};
+
+struct SchemaExpansionResult {
+  /// Extracted Boolean attribute for every item in the space.
+  std::vector<bool> values;
+  /// Crowd statistics of the gold-sample acquisition.
+  double crowd_minutes = 0.0;
+  double crowd_dollars = 0.0;
+  std::size_t gold_sample_classified = 0;
+  bool success = false;
+};
+
+/// Runs the full pipeline: dispatch the gold sample to `pool` under
+/// `hit_config` (true labels of the sample supplied for simulation),
+/// majority-vote, train, extract all. Fails (success=false) when the
+/// crowd produced fewer than two distinct classes.
+SchemaExpansionResult ExpandSchema(const PerceptualSpace& space,
+                                   const SchemaExpansionRequest& request,
+                                   const crowd::WorkerPool& pool,
+                                   const crowd::HitRunConfig& hit_config,
+                                   const std::vector<bool>& sample_truth);
+
+}  // namespace ccdb::core
+
+#endif  // CCDB_CORE_EXPANSION_H_

@@ -1,0 +1,107 @@
+#ifndef CCDB_CORE_EXTRACTOR_H_
+#define CCDB_CORE_EXTRACTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/perceptual_space.h"
+#include "svm/classifier.h"
+#include "svm/platt.h"
+#include "svm/svr.h"
+
+namespace ccdb::core {
+
+/// Options shared by the attribute extractors (Sec. 3.4 / 4.2): an RBF
+/// SVM whose kernel width auto-scales to the space geometry.
+struct ExtractorOptions {
+  svm::KernelConfig kernel;  // gamma <= 0 → 1 / (dims · coordinate variance)
+  /// Multiplier applied to the auto-resolved gamma (ignored when gamma is
+  /// set explicitly). < 1 widens the RBF kernel, smoothing the decision
+  /// surface — the quality checker relies on this to avoid fitting label
+  /// noise.
+  double gamma_scale = 1.0;
+  double cost = 10.0;
+  /// Scale each class's soft-margin cost by the inverse class frequency
+  /// (LIBSVM's -w). Essential when training on imbalanced noisy labels
+  /// (the Sec. 4.4 quality checker), harmless on balanced gold samples.
+  bool balance_class_costs = false;
+  /// ε-tube width for the numeric (SVR) extractor.
+  double epsilon = 0.1;
+  svm::SmoConfig smo;
+};
+
+/// Resolves an auto gamma against a space: γ = 1 / (d · Var), the "scale"
+/// heuristic, so RBF widths track the embedding's natural length scale.
+svm::KernelConfig ResolveKernelForSpace(const svm::KernelConfig& kernel,
+                                        const PerceptualSpace& space,
+                                        double gamma_scale = 1.0);
+
+/// Extracts a *Boolean* perceptual attribute (e.g. `is_comedy`) from a
+/// perceptual space, given a small gold sample of item ids and labels.
+/// This is the classifier variant the paper uses throughout Sec. 4.
+class BinaryAttributeExtractor {
+ public:
+  explicit BinaryAttributeExtractor(const ExtractorOptions& options = {});
+
+  /// Trains on the gold sample. Requires at least one positive and one
+  /// negative label; returns false (untrained) otherwise.
+  bool Train(const PerceptualSpace& space,
+             const std::vector<std::uint32_t>& items,
+             const std::vector<bool>& labels);
+
+  bool trained() const { return model_.trained(); }
+
+  /// Predicted label for one item.
+  bool Extract(const PerceptualSpace& space, std::uint32_t item) const;
+
+  /// Predicted labels for every item in the space — the schema-expansion
+  /// fill step ("classify all two million movies without additional user
+  /// interaction").
+  std::vector<bool> ExtractAll(const PerceptualSpace& space) const;
+
+  /// Signed decision values for every item (used by ranking queries).
+  std::vector<double> DecisionValues(const PerceptualSpace& space) const;
+
+  /// Calibrated P(attribute = true) per item via Platt scaling fitted on
+  /// the gold sample during Train(). Falls back to a hard 0/1 vector when
+  /// the sigmoid could not be fitted (degenerate gold sample).
+  std::vector<double> ExtractProbabilities(const PerceptualSpace& space)
+      const;
+
+  /// Whether calibrated probabilities are available.
+  bool calibrated() const { return platt_.fitted(); }
+
+  const svm::SvmModel& model() const { return model_; }
+
+ private:
+  ExtractorOptions options_;
+  svm::SvmModel model_;
+  svm::PlattScaler platt_;
+};
+
+/// Extracts a *numeric* perceptual attribute (e.g. `humor` on a 0–10
+/// scale) via ε-SVR, per the paper's Sec. 3.4 recommendation.
+class NumericAttributeExtractor {
+ public:
+  explicit NumericAttributeExtractor(const ExtractorOptions& options = {});
+
+  /// Trains on gold numeric judgments. Requires a non-empty sample.
+  bool Train(const PerceptualSpace& space,
+             const std::vector<std::uint32_t>& items,
+             const std::vector<double>& values);
+
+  bool trained() const { return model_.trained(); }
+
+  double Extract(const PerceptualSpace& space, std::uint32_t item) const;
+  std::vector<double> ExtractAll(const PerceptualSpace& space) const;
+
+  const svm::SvrModel& model() const { return model_; }
+
+ private:
+  ExtractorOptions options_;
+  svm::SvrModel model_;
+};
+
+}  // namespace ccdb::core
+
+#endif  // CCDB_CORE_EXTRACTOR_H_

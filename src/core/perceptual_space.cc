@@ -1,0 +1,155 @@
+#include "core/perceptual_space.h"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "common/check.h"
+#include "common/vec.h"
+
+namespace ccdb::core {
+
+PerceptualSpace PerceptualSpace::Build(const RatingDataset& ratings,
+                                       const PerceptualSpaceOptions& options) {
+  factorization::FactorModel model(options.model, ratings);
+  factorization::TrainSgd(options.trainer, ratings, model);
+  return PerceptualSpace(model.item_factors(), model.item_bias(),
+                         model.global_mean());
+}
+
+PerceptualSpace::PerceptualSpace(Matrix item_coords)
+    : item_coords_(std::move(item_coords)) {}
+
+PerceptualSpace::PerceptualSpace(Matrix item_coords,
+                                 std::vector<double> item_bias,
+                                 double global_mean)
+    : item_coords_(std::move(item_coords)),
+      item_bias_(std::move(item_bias)),
+      global_mean_(global_mean) {
+  CCDB_CHECK_EQ(item_bias_.size(), item_coords_.rows());
+}
+
+double PerceptualSpace::BiasOf(std::uint32_t item) const {
+  CCDB_CHECK_LT(item, num_items());
+  return item_bias_.empty() ? 0.0 : item_bias_[item];
+}
+
+double PerceptualSpace::Distance(std::uint32_t a, std::uint32_t b) const {
+  return ccdb::Distance(item_coords_.Row(a), item_coords_.Row(b));
+}
+
+std::vector<eval::Neighbor> PerceptualSpace::NearestNeighbors(
+    std::uint32_t item, std::size_t k) const {
+  return eval::KNearestNeighbors(item_coords_, item, k);
+}
+
+Matrix PerceptualSpace::GatherRows(
+    const std::vector<std::uint32_t>& items) const {
+  Matrix gathered(items.size(), dims());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    CCDB_CHECK_LT(items[i], num_items());
+    auto dst = gathered.Row(i);
+    const auto src = item_coords_.Row(items[i]);
+    for (std::size_t c = 0; c < src.size(); ++c) dst[c] = src[c];
+  }
+  return gathered;
+}
+
+double PerceptualSpace::CoordinateVariance() const {
+  const std::size_t n = num_items();
+  const std::size_t d = dims();
+  if (n == 0 || d == 0) return 0.0;
+  double total_variance = 0.0;
+  for (std::size_t c = 0; c < d; ++c) {
+    double mean = 0.0;
+    for (std::size_t i = 0; i < n; ++i) mean += item_coords_(i, c);
+    mean /= static_cast<double>(n);
+    double variance = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double diff = item_coords_(i, c) - mean;
+      variance += diff * diff;
+    }
+    total_variance += variance / static_cast<double>(n);
+  }
+  return total_variance / static_cast<double>(d);
+}
+
+namespace {
+
+constexpr char kMagic[8] = {'C', 'C', 'D', 'B', 'P', 'S', '0', '1'};
+
+// RAII FILE handle (the library is exception-free, so no fstream).
+struct FileCloser {
+  void operator()(std::FILE* file) const {
+    if (file != nullptr) std::fclose(file);
+  }
+};
+using FileHandle = std::unique_ptr<std::FILE, FileCloser>;
+
+}  // namespace
+
+Status PerceptualSpace::SaveToFile(const std::string& path) const {
+  FileHandle file(std::fopen(path.c_str(), "wb"));
+  if (file == nullptr) {
+    return Status::Internal("cannot open for writing: " + path);
+  }
+  const std::uint64_t num_items_u64 = num_items();
+  const std::uint64_t dims_u64 = dims();
+  const std::uint64_t has_bias = item_bias_.empty() ? 0 : 1;
+  bool ok = std::fwrite(kMagic, sizeof(kMagic), 1, file.get()) == 1;
+  ok = ok && std::fwrite(&num_items_u64, sizeof(num_items_u64), 1,
+                         file.get()) == 1;
+  ok = ok && std::fwrite(&dims_u64, sizeof(dims_u64), 1, file.get()) == 1;
+  ok = ok && std::fwrite(&has_bias, sizeof(has_bias), 1, file.get()) == 1;
+  ok = ok && std::fwrite(&global_mean_, sizeof(global_mean_), 1,
+                         file.get()) == 1;
+  const auto coords = item_coords_.Data();
+  ok = ok && (coords.empty() ||
+              std::fwrite(coords.data(), sizeof(double), coords.size(),
+                          file.get()) == coords.size());
+  if (has_bias != 0) {
+    ok = ok && std::fwrite(item_bias_.data(), sizeof(double),
+                           item_bias_.size(),
+                           file.get()) == item_bias_.size();
+  }
+  if (!ok) return Status::Internal("short write to " + path);
+  return Status::Ok();
+}
+
+StatusOr<PerceptualSpace> PerceptualSpace::LoadFromFile(
+    const std::string& path) {
+  FileHandle file(std::fopen(path.c_str(), "rb"));
+  if (file == nullptr) {
+    return Status::NotFound("cannot open: " + path);
+  }
+  char magic[8];
+  if (std::fread(magic, sizeof(magic), 1, file.get()) != 1 ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("not a perceptual-space file: " + path);
+  }
+  std::uint64_t num_items = 0, dims = 0, has_bias = 0;
+  double global_mean = 0.0;
+  if (std::fread(&num_items, sizeof(num_items), 1, file.get()) != 1 ||
+      std::fread(&dims, sizeof(dims), 1, file.get()) != 1 ||
+      std::fread(&has_bias, sizeof(has_bias), 1, file.get()) != 1 ||
+      std::fread(&global_mean, sizeof(global_mean), 1, file.get()) != 1) {
+    return Status::InvalidArgument("truncated header in " + path);
+  }
+  Matrix coords(num_items, dims);
+  auto data = coords.Data();
+  if (!data.empty() && std::fread(data.data(), sizeof(double), data.size(),
+                                  file.get()) != data.size()) {
+    return Status::InvalidArgument("truncated coordinates in " + path);
+  }
+  if (has_bias == 0) {
+    return PerceptualSpace(std::move(coords));
+  }
+  std::vector<double> bias(num_items);
+  if (num_items > 0 && std::fread(bias.data(), sizeof(double), bias.size(),
+                                  file.get()) != bias.size()) {
+    return Status::InvalidArgument("truncated biases in " + path);
+  }
+  return PerceptualSpace(std::move(coords), std::move(bias), global_mean);
+}
+
+}  // namespace ccdb::core

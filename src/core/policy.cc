@@ -1,0 +1,68 @@
+#include "core/policy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace ccdb::core {
+namespace {
+
+StrategyEstimate EstimateCrowdPass(std::size_t items,
+                                   const CrowdCostModel& model) {
+  StrategyEstimate estimate;
+  if (items == 0) return estimate;
+  const double hits =
+      std::ceil(static_cast<double>(items) /
+                static_cast<double>(model.items_per_hit)) *
+      static_cast<double>(model.judgments_per_item);
+  estimate.dollars = hits * model.payment_per_hit;
+  const double judgments = static_cast<double>(items) *
+                           static_cast<double>(model.judgments_per_item);
+  estimate.minutes = judgments / model.pool_judgments_per_minute;
+  return estimate;
+}
+
+}  // namespace
+
+ExpansionPlan PlanExpansion(std::size_t table_rows,
+                            std::size_t gold_sample_size,
+                            const CrowdCostModel& model,
+                            bool space_available) {
+  CCDB_CHECK_GT(model.items_per_hit, 0u);
+  CCDB_CHECK_GT(model.judgments_per_item, 0u);
+  CCDB_CHECK_GT(model.pool_judgments_per_minute, 0.0);
+
+  ExpansionPlan plan;
+  plan.direct = EstimateCrowdPass(table_rows, model);
+  // The space strategy crowd-sources only the gold sample; extraction
+  // itself is machine time (milliseconds; see micro_benchmarks), folded
+  // into a negligible constant here.
+  plan.space =
+      EstimateCrowdPass(std::min(gold_sample_size, table_rows), model);
+  plan.use_space = space_available && plan.space.dollars < plan.direct.dollars;
+  plan.cost_ratio = plan.space.dollars > 0.0
+                        ? plan.direct.dollars / plan.space.dollars
+                        : 0.0;
+  // Both strategies cost the same when the table is no larger than the
+  // gold sample.
+  plan.break_even_rows = gold_sample_size;
+  return plan;
+}
+
+std::vector<std::size_t> SelectUncertainItems(
+    const std::vector<double>& decision_values, double fraction) {
+  CCDB_CHECK_GE(fraction, 0.0);
+  CCDB_CHECK_LE(fraction, 1.0);
+  std::vector<std::size_t> order(decision_values.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return std::abs(decision_values[a]) < std::abs(decision_values[b]);
+  });
+  order.resize(static_cast<std::size_t>(
+      fraction * static_cast<double>(decision_values.size())));
+  return order;
+}
+
+}  // namespace ccdb::core

@@ -1,0 +1,57 @@
+#ifndef CCDB_CORE_POLICY_H_
+#define CCDB_CORE_POLICY_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace ccdb::core {
+
+/// Cost/time model of a crowd platform, used to decide *how* to expand a
+/// schema (the paper's performance argument, Sec. 1/2, as an executable
+/// planner component).
+struct CrowdCostModel {
+  double payment_per_hit = 0.02;
+  std::size_t items_per_hit = 10;
+  std::size_t judgments_per_item = 10;
+  /// Aggregate pool throughput in judgments per minute.
+  double pool_judgments_per_minute = 95.0;
+};
+
+/// Estimated cost and latency of one expansion strategy.
+struct StrategyEstimate {
+  double dollars = 0.0;
+  double minutes = 0.0;
+};
+
+/// The planner's verdict for materializing one perceptual column.
+struct ExpansionPlan {
+  StrategyEstimate direct;  // crowd-source every row
+  StrategyEstimate space;   // gold sample + space extraction
+  /// True when the perceptual-space strategy is cheaper (it almost always
+  /// is once the table is larger than the gold sample).
+  bool use_space = false;
+  /// direct.dollars / space.dollars (∞-safe: 0 when space cost is 0).
+  double cost_ratio = 0.0;
+  /// Row count at which the two strategies cost the same.
+  std::size_t break_even_rows = 0;
+};
+
+/// Plans the expansion of a column over `table_rows` items given a gold
+/// sample of `gold_sample_size` and the platform model. `space_available`
+/// = false (no rating data for this domain) forces the direct strategy.
+/// Pure arithmetic — deterministic and unit-testable.
+ExpansionPlan PlanExpansion(std::size_t table_rows,
+                            std::size_t gold_sample_size,
+                            const CrowdCostModel& model,
+                            bool space_available = true);
+
+/// Active-verification helper (combining Sec. 4.2 with Sec. 4.4): given
+/// the extractor's signed decision values, returns the indices of the
+/// `fraction` least-confident items (smallest |f(x)|) — the rows worth
+/// sending to the crowd for direct verification.
+std::vector<std::size_t> SelectUncertainItems(
+    const std::vector<double>& decision_values, double fraction);
+
+}  // namespace ccdb::core
+
+#endif  // CCDB_CORE_POLICY_H_

@@ -1,0 +1,59 @@
+#include "core/quality.h"
+
+#include <numeric>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace ccdb::core {
+
+ExtractorOptions DefaultQualityExtractor() {
+  ExtractorOptions options;
+  options.cost = 1.0;
+  options.gamma_scale = 0.3;
+  options.balance_class_costs = true;
+  return options;
+}
+
+QualityCheckResult FlagQuestionableLabels(const PerceptualSpace& space,
+                                          const std::vector<bool>& labels,
+                                          const QualityCheckOptions& options) {
+  const std::size_t num_items = space.num_items();
+  CCDB_CHECK_EQ(labels.size(), num_items);
+
+  // Subsample the training set if the space is large.
+  std::vector<std::uint32_t> training_items;
+  if (num_items <= options.max_training_items) {
+    training_items.resize(num_items);
+    std::iota(training_items.begin(), training_items.end(), 0u);
+  } else {
+    Rng rng(options.seed);
+    for (std::size_t index :
+         rng.SampleWithoutReplacement(num_items, options.max_training_items)) {
+      training_items.push_back(static_cast<std::uint32_t>(index));
+    }
+  }
+  std::vector<bool> training_labels(training_items.size());
+  for (std::size_t i = 0; i < training_items.size(); ++i) {
+    training_labels[i] = labels[training_items[i]];
+  }
+
+  QualityCheckResult result;
+  BinaryAttributeExtractor extractor(options.extractor);
+  if (!extractor.Train(space, training_items, training_labels)) {
+    // Degenerate single-class labeling: nothing contradicts anything.
+    result.flagged.assign(num_items, false);
+    result.predicted = labels;
+    return result;
+  }
+
+  result.predicted = extractor.ExtractAll(space);
+  result.flagged.resize(num_items);
+  for (std::size_t m = 0; m < num_items; ++m) {
+    result.flagged[m] = result.predicted[m] != labels[m];
+    if (result.flagged[m]) ++result.num_flagged;
+  }
+  return result;
+}
+
+}  // namespace ccdb::core

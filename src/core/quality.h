@@ -1,0 +1,48 @@
+#ifndef CCDB_CORE_QUALITY_H_
+#define CCDB_CORE_QUALITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/extractor.h"
+#include "core/perceptual_space.h"
+
+namespace ccdb::core {
+
+/// The extractor defaults used for label-noise detection.
+ExtractorOptions DefaultQualityExtractor();
+
+/// Options for questionable-HIT-response detection (Sec. 4.4).
+struct QualityCheckOptions {
+  /// Defaults favor a smooth decision surface (moderate C, widened RBF)
+  /// so the SVM captures the space's neighborhood structure instead of
+  /// memorizing the noisy labels it is trained on.
+  ExtractorOptions extractor = DefaultQualityExtractor();
+  /// The SVM is trained on a random subsample of at most this many items
+  /// (the paper trains on all 10,562; subsampling preserves the boundary
+  /// while keeping kernel matrices small — scaling note in DESIGN.md).
+  std::size_t max_training_items = 2000;
+  std::uint64_t seed = 31;
+};
+
+/// Result: flagged[i] is true when item i's given label contradicts the
+/// SVM's prediction from the perceptual space — i.e. the label looks like
+/// a questionable crowd response that should be re-verified.
+struct QualityCheckResult {
+  std::vector<bool> flagged;
+  std::vector<bool> predicted;  // the model's label for every item
+  std::size_t num_flagged = 0;
+};
+
+/// Implements the paper's error-detection method: train a classifier on
+/// the (possibly noisy) labels of all items over the space geometry, then
+/// flag every item whose given label differs from the model's prediction
+/// ("a movie labeled Action but surrounded by non-Action movies most
+/// likely is not an Action movie").
+QualityCheckResult FlagQuestionableLabels(const PerceptualSpace& space,
+                                          const std::vector<bool>& labels,
+                                          const QualityCheckOptions& options);
+
+}  // namespace ccdb::core
+
+#endif  // CCDB_CORE_QUALITY_H_

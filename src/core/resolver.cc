@@ -1,0 +1,208 @@
+#include "core/resolver.h"
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace ccdb::core {
+
+PerceptualExpansionResolver::PerceptualExpansionResolver(
+    const PerceptualSpace* space, crowd::WorkerPool pool,
+    crowd::HitRunConfig hit_config, std::uint64_t seed)
+    : space_(space),
+      pool_(std::move(pool)),
+      hit_config_(hit_config),
+      seed_(seed) {
+  CCDB_CHECK(space_ != nullptr);
+}
+
+void PerceptualExpansionResolver::RegisterAttribute(
+    const std::string& name, PerceptualAttributeSpec spec) {
+  attributes_[name] = std::move(spec);
+}
+
+Status PerceptualExpansionResolver::Resolve(db::Table& table,
+                                            const std::string& column_name) {
+  auto it = attributes_.find(column_name);
+  if (it == attributes_.end()) {
+    return Status::NotFound("attribute not registered for expansion: " +
+                            column_name);
+  }
+  // Row i of the table corresponds to item i of the space; the table may
+  // be a prefix (items already embedded but not yet inserted into the DB
+  // are filled later via Refresh()).
+  if (table.num_rows() > space_->num_items()) {
+    return Status::FailedPrecondition(
+        "table has rows beyond the perceptual space");
+  }
+  const PerceptualAttributeSpec& spec = it->second;
+  if (spec.type == db::ColumnType::kBool) {
+    return ResolveBool(table, column_name, spec);
+  }
+  if (spec.type == db::ColumnType::kDouble) {
+    return ResolveNumeric(table, column_name, spec);
+  }
+  return Status::InvalidArgument("unsupported perceptual attribute type");
+}
+
+Status PerceptualExpansionResolver::ResolveBool(
+    db::Table& table, const std::string& column_name,
+    const PerceptualAttributeSpec& spec) {
+  if (spec.bool_truth == nullptr) {
+    return Status::FailedPrecondition("no truth provider for " + column_name);
+  }
+  // Pick the gold sample and simulate the crowd labeling it.
+  Rng rng(seed_ + attributes_.size());
+  SchemaExpansionRequest request;
+  request.attribute_name = column_name;
+  request.extractor = spec.extractor;
+  std::vector<bool> sample_truth;
+  for (std::size_t index : rng.SampleWithoutReplacement(
+           space_->num_items(),
+           std::min(spec.gold_sample_size, space_->num_items()))) {
+    const auto item = static_cast<std::uint32_t>(index);
+    request.gold_sample_items.push_back(item);
+    sample_truth.push_back(spec.bool_truth(item));
+  }
+
+  // Run the crowd pass, then train and *retain* the extractor so Refresh
+  // can fill rows appended later without another crowd round-trip.
+  const crowd::CrowdRunResult run =
+      crowd::RunCrowdTask(pool_, sample_truth, hit_config_);
+  const auto classification = crowd::MajorityVote(
+      run.judgments, request.gold_sample_items.size(), run.total_minutes);
+  std::vector<std::uint32_t> training_items;
+  std::vector<bool> training_labels;
+  for (std::size_t i = 0; i < classification.size(); ++i) {
+    if (classification[i].has_value()) {
+      training_items.push_back(request.gold_sample_items[i]);
+      training_labels.push_back(*classification[i]);
+    }
+  }
+  BinaryAttributeExtractor extractor(spec.extractor);
+  last_result_ = SchemaExpansionResult{};
+  last_result_.crowd_minutes = run.total_minutes;
+  last_result_.crowd_dollars = run.total_cost_dollars;
+  last_result_.gold_sample_classified = training_items.size();
+  if (!extractor.Train(*space_, training_items, training_labels)) {
+    return Status::Internal(
+        "crowd gold sample did not yield two classes for " + column_name);
+  }
+  last_result_.values = extractor.ExtractAll(*space_);
+  last_result_.success = true;
+  trained_binary_[column_name] = std::move(extractor);
+  audit_log_.push_back({column_name, db::ColumnType::kBool,
+                        request.gold_sample_items.size(),
+                        last_result_.gold_sample_classified,
+                        last_result_.crowd_dollars,
+                        last_result_.crowd_minutes});
+
+  if (Status status =
+          table.AddColumn({column_name, db::ColumnType::kBool});
+      !status.ok()) {
+    return status;
+  }
+  std::vector<db::Value> values(table.num_rows());
+  for (std::size_t row = 0; row < table.num_rows(); ++row) {
+    values[row] = db::Value(static_cast<bool>(last_result_.values[row]));
+  }
+  return table.FillColumn(table.schema().num_columns() - 1, values);
+}
+
+Status PerceptualExpansionResolver::ResolveNumeric(
+    db::Table& table, const std::string& column_name,
+    const PerceptualAttributeSpec& spec) {
+  if (spec.numeric_truth == nullptr) {
+    return Status::FailedPrecondition("no truth provider for " + column_name);
+  }
+  // Numeric gold samples are simulated as trusted-expert judgments with
+  // small noise (the crowd platform models Boolean HITs only; see
+  // DESIGN.md on substitutions).
+  Rng rng(seed_ + attributes_.size() + 1);
+  std::vector<std::uint32_t> items;
+  std::vector<double> judgments;
+  for (std::size_t index : rng.SampleWithoutReplacement(
+           space_->num_items(),
+           std::min(spec.gold_sample_size, space_->num_items()))) {
+    const auto item = static_cast<std::uint32_t>(index);
+    items.push_back(item);
+    judgments.push_back(spec.numeric_truth(item) + rng.Gaussian(0.0, 0.25));
+  }
+
+  NumericAttributeExtractor extractor(spec.extractor);
+  if (!extractor.Train(*space_, items, judgments)) {
+    return Status::Internal("numeric extractor training failed for " +
+                            column_name);
+  }
+  const std::vector<double> extracted = extractor.ExtractAll(*space_);
+  trained_numeric_[column_name] = std::move(extractor);
+
+  if (Status status =
+          table.AddColumn({column_name, db::ColumnType::kDouble});
+      !status.ok()) {
+    return status;
+  }
+  std::vector<db::Value> values(table.num_rows());
+  for (std::size_t row = 0; row < table.num_rows(); ++row) {
+    values[row] = db::Value(extracted[row]);
+  }
+  last_result_ = SchemaExpansionResult{};
+  last_result_.success = true;
+  last_result_.gold_sample_classified = items.size();
+  audit_log_.push_back({column_name, db::ColumnType::kDouble, items.size(),
+                        items.size(), 0.0, 0.0});
+  return table.FillColumn(table.schema().num_columns() - 1, values);
+}
+
+db::Table PerceptualExpansionResolver::AuditTable() const {
+  db::Schema schema({{"attribute", db::ColumnType::kString},
+                     {"type", db::ColumnType::kString},
+                     {"gold_size", db::ColumnType::kInt},
+                     {"classified", db::ColumnType::kInt},
+                     {"dollars", db::ColumnType::kDouble},
+                     {"minutes", db::ColumnType::kDouble}});
+  db::Table table("expansion_audit", schema);
+  for (const AuditRecord& record : audit_log_) {
+    const Status status = table.AppendRow(
+        {db::Value(record.attribute),
+         db::Value(std::string(db::ColumnTypeName(record.type))),
+         db::Value(static_cast<std::int64_t>(record.gold_sample_size)),
+         db::Value(static_cast<std::int64_t>(record.gold_sample_classified)),
+         db::Value(record.crowd_dollars), db::Value(record.crowd_minutes)});
+    CCDB_CHECK(status.ok());
+  }
+  return table;
+}
+
+Status PerceptualExpansionResolver::Refresh(db::Table& table,
+                                            const std::string& column_name) {
+  const std::size_t column = table.schema().FindColumn(column_name);
+  if (column == db::Schema::kNotFound) {
+    return Status::NotFound("column not materialized yet: " + column_name);
+  }
+  if (table.num_rows() > space_->num_items()) {
+    return Status::FailedPrecondition(
+        "table has rows beyond the perceptual space; rebuild the space "
+        "from fresh ratings first");
+  }
+  const auto binary_it = trained_binary_.find(column_name);
+  const auto numeric_it = trained_numeric_.find(column_name);
+  if (binary_it == trained_binary_.end() &&
+      numeric_it == trained_numeric_.end()) {
+    return Status::FailedPrecondition(
+        "no trained extractor retained for " + column_name);
+  }
+  for (std::size_t row = 0; row < table.num_rows(); ++row) {
+    if (!db::IsNull(table.Get(row, column))) continue;
+    const auto item = static_cast<std::uint32_t>(row);
+    if (binary_it != trained_binary_.end()) {
+      table.Set(row, column,
+                db::Value(binary_it->second.Extract(*space_, item)));
+    } else {
+      table.Set(row, column,
+                db::Value(numeric_it->second.Extract(*space_, item)));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace ccdb::core

@@ -1,0 +1,105 @@
+#ifndef CCDB_CORE_RESOLVER_H_
+#define CCDB_CORE_RESOLVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/expansion.h"
+#include "core/perceptual_space.h"
+#include "crowd/experiments.h"
+#include "db/database.h"
+
+namespace ccdb::core {
+
+/// Supplies the simulated crowd's underlying opinion about an item for a
+/// Boolean perceptual attribute (in a real deployment this is the human
+/// worker; in the reproduction it is the synthetic world's ground truth).
+using BoolTruthProvider = std::function<bool(std::uint32_t item)>;
+
+/// Same for numeric attributes (e.g. a 0–10 humor judgment).
+using NumericTruthProvider = std::function<double(std::uint32_t item)>;
+
+/// Registration record for one expandable perceptual attribute.
+struct PerceptualAttributeSpec {
+  db::ColumnType type = db::ColumnType::kBool;
+  BoolTruthProvider bool_truth;        // for kBool attributes
+  NumericTruthProvider numeric_truth;  // for kDouble attributes
+  /// Size of the crowd-sourced gold sample.
+  std::size_t gold_sample_size = 100;
+  ExtractorOptions extractor;
+};
+
+/// The paper's Figure 2 workflow as a db resolver: when a query references
+/// a missing column that was registered as a perceptual attribute, the
+/// resolver crowd-sources a small gold sample, trains an SVM/SVR extractor
+/// over the perceptual space, and fills the whole column — query-driven
+/// schema expansion. Row i of the table must correspond to item i of the
+/// space.
+class PerceptualExpansionResolver : public db::MissingAttributeResolver {
+ public:
+  /// `space` is borrowed and must outlive the resolver.
+  PerceptualExpansionResolver(const PerceptualSpace* space,
+                              crowd::WorkerPool pool,
+                              crowd::HitRunConfig hit_config,
+                              std::uint64_t seed = 77);
+
+  /// Registers an attribute the resolver can materialize.
+  void RegisterAttribute(const std::string& name,
+                         PerceptualAttributeSpec spec);
+
+  /// db::MissingAttributeResolver: materializes `column_name` on `table`.
+  /// NotFound for unregistered attributes, FailedPrecondition when the
+  /// table's row count does not match the space.
+  Status Resolve(db::Table& table, const std::string& column_name) override;
+
+  /// Incremental maintenance (the paper's "each new movie added to the
+  /// database will require similar HITs" pain point, solved): fills only
+  /// the NULL cells of an already-materialized perceptual column using
+  /// the extractor trained at expansion time — no new crowd work. Rows
+  /// must still correspond 1:1 to space items.
+  Status Refresh(db::Table& table, const std::string& column_name);
+
+  /// Crowd cost/time stats of the most recent expansion.
+  const SchemaExpansionResult& last_result() const { return last_result_; }
+
+  /// One audit record per performed expansion — provenance for every
+  /// materialized column (who paid what for which attribute when).
+  struct AuditRecord {
+    std::string attribute;
+    db::ColumnType type = db::ColumnType::kBool;
+    std::size_t gold_sample_size = 0;
+    std::size_t gold_sample_classified = 0;
+    double crowd_dollars = 0.0;
+    double crowd_minutes = 0.0;
+  };
+  const std::vector<AuditRecord>& audit_log() const { return audit_log_; }
+
+  /// Renders the audit log as a queryable table named
+  /// "expansion_audit" (attribute, type, gold_size, classified, dollars,
+  /// minutes).
+  db::Table AuditTable() const;
+
+ private:
+  Status ResolveBool(db::Table& table, const std::string& column_name,
+                     const PerceptualAttributeSpec& spec);
+  Status ResolveNumeric(db::Table& table, const std::string& column_name,
+                        const PerceptualAttributeSpec& spec);
+
+  const PerceptualSpace* space_;
+  crowd::WorkerPool pool_;
+  crowd::HitRunConfig hit_config_;
+  std::uint64_t seed_;
+  std::map<std::string, PerceptualAttributeSpec> attributes_;
+  /// Extractors kept after materialization, for Refresh().
+  std::map<std::string, BinaryAttributeExtractor> trained_binary_;
+  std::map<std::string, NumericAttributeExtractor> trained_numeric_;
+  std::vector<AuditRecord> audit_log_;
+  SchemaExpansionResult last_result_;
+};
+
+}  // namespace ccdb::core
+
+#endif  // CCDB_CORE_RESOLVER_H_

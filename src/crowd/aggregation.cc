@@ -1,0 +1,63 @@
+#include "crowd/aggregation.h"
+
+#include "common/check.h"
+
+namespace ccdb::crowd {
+
+std::vector<std::optional<bool>> MajorityVote(
+    const std::vector<Judgment>& judgments, std::size_t num_items,
+    double up_to_minutes) {
+  std::vector<int> positive(num_items, 0);
+  std::vector<int> negative(num_items, 0);
+  for (const Judgment& judgment : judgments) {
+    if (judgment.is_gold) continue;
+    if (judgment.timestamp_minutes > up_to_minutes) continue;
+    CCDB_CHECK_LT(judgment.item, num_items);
+    if (judgment.answer == Answer::kPositive) {
+      ++positive[judgment.item];
+    } else if (judgment.answer == Answer::kNegative) {
+      ++negative[judgment.item];
+    }
+  }
+  std::vector<std::optional<bool>> classification(num_items);
+  for (std::size_t m = 0; m < num_items; ++m) {
+    if (positive[m] > negative[m]) {
+      classification[m] = true;
+    } else if (negative[m] > positive[m]) {
+      classification[m] = false;
+    }
+    // Tie or no votes: stays unclassified.
+  }
+  return classification;
+}
+
+ClassificationSummary Summarize(
+    const std::vector<std::optional<bool>>& classification,
+    const std::vector<bool>& reference) {
+  CCDB_CHECK_EQ(classification.size(), reference.size());
+  ClassificationSummary summary;
+  for (std::size_t m = 0; m < classification.size(); ++m) {
+    if (!classification[m].has_value()) continue;
+    ++summary.num_classified;
+    if (*classification[m] == reference[m]) ++summary.num_correct;
+  }
+  summary.fraction_correct_of_classified =
+      summary.num_classified == 0
+          ? 0.0
+          : static_cast<double>(summary.num_correct) /
+                static_cast<double>(summary.num_classified);
+  return summary;
+}
+
+double CostUpTo(const std::vector<Judgment>& judgments,
+                double up_to_minutes) {
+  double total = 0.0;
+  for (const Judgment& judgment : judgments) {
+    if (judgment.timestamp_minutes <= up_to_minutes) {
+      total += judgment.cost_dollars;
+    }
+  }
+  return total;
+}
+
+}  // namespace ccdb::crowd

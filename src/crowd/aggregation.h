@@ -1,0 +1,40 @@
+#ifndef CCDB_CROWD_AGGREGATION_H_
+#define CCDB_CROWD_AGGREGATION_H_
+
+#include <optional>
+#include <vector>
+
+#include "crowd/platform.h"
+
+namespace ccdb::crowd {
+
+/// Majority-vote aggregation of a judgment stream, the paper's default
+/// quality-control technique: "don't know" answers are ignored, and items
+/// with no votes or a tie stay unclassified (nullopt).
+/// `up_to_minutes` restricts aggregation to judgments completed by that
+/// time (Figures 3–4 aggregate the stream at periodic checkpoints);
+/// pass infinity for the full stream. Gold probes are skipped.
+std::vector<std::optional<bool>> MajorityVote(
+    const std::vector<Judgment>& judgments, std::size_t num_items,
+    double up_to_minutes);
+
+/// Summary statistics of an aggregated classification against reference
+/// labels — the columns of Table 1.
+struct ClassificationSummary {
+  std::size_t num_classified = 0;
+  std::size_t num_correct = 0;
+  /// num_correct / num_classified (0 if nothing classified).
+  double fraction_correct_of_classified = 0.0;
+};
+
+ClassificationSummary Summarize(
+    const std::vector<std::optional<bool>>& classification,
+    const std::vector<bool>& reference);
+
+/// Cumulative dollars spent on judgments completed by `up_to_minutes`
+/// (gold probes included — they are paid work).
+double CostUpTo(const std::vector<Judgment>& judgments, double up_to_minutes);
+
+}  // namespace ccdb::crowd
+
+#endif  // CCDB_CROWD_AGGREGATION_H_

@@ -1,0 +1,125 @@
+#include "crowd/experiments.h"
+
+#include "common/rng.h"
+
+namespace ccdb::crowd {
+namespace {
+
+constexpr const char* kHonestCountries[] = {"Atlantis", "Sylvania",
+                                            "Ruritania", "Arendelle"};
+
+WorkerProfile MakeSpammer(Rng& rng, const std::string& country) {
+  WorkerProfile worker;
+  worker.country = country;
+  worker.honest = false;
+  worker.knowledge = rng.Uniform(0.90, 0.98);     // claims to know ~94%
+  worker.positive_bias = rng.Uniform(0.48, 0.58);  // answers "comedy" ~53%
+  worker.accuracy = 0.5;
+  worker.judgments_per_minute = rng.Uniform(1.0, 1.6);  // spammers click fast
+  return worker;
+}
+
+WorkerProfile MakeHonest(Rng& rng, const std::string& country,
+                         double knowledge_center, double accuracy_center,
+                         double speed_lo, double speed_hi) {
+  WorkerProfile worker;
+  worker.country = country;
+  worker.honest = true;
+  worker.knowledge = knowledge_center + rng.Uniform(-0.04, 0.04);
+  worker.accuracy = accuracy_center + rng.Uniform(-0.03, 0.03);
+  worker.positive_bias = 0.5;
+  worker.judgments_per_minute = rng.Uniform(speed_lo, speed_hi);
+  return worker;
+}
+
+}  // namespace
+
+const std::vector<std::string>& SpammerCountries() {
+  static const std::vector<std::string>* const kCountries =
+      new std::vector<std::string>{"Elbonia", "Freedonia", "Genovia"};
+  return *kCountries;
+}
+
+ExperimentSetup MakeExperiment1(std::uint64_t seed) {
+  Rng rng(seed);
+  ExperimentSetup setup;
+  setup.name = "Exp. 1: All";
+  const auto& spam_countries = SpammerCountries();
+  for (std::size_t i = 0; i < 55; ++i) {
+    setup.pool.workers.push_back(
+        MakeSpammer(rng, spam_countries[i % spam_countries.size()]));
+  }
+  for (std::size_t i = 0; i < 34; ++i) {
+    // This daytime honest population knows more titles and clicks along
+    // briskly (knowledge ~0.28, accuracy ~0.89).
+    setup.pool.workers.push_back(
+        MakeHonest(rng, kHonestCountries[i % std::size(kHonestCountries)],
+                   0.28, 0.89, 1.0, 1.4));
+  }
+  setup.config.judgments_per_item = 10;
+  setup.config.items_per_hit = 10;
+  setup.config.payment_per_hit = 0.02;
+  setup.config.allow_dont_know = true;
+  setup.config.seed = seed + 1;
+  return setup;
+}
+
+ExperimentSetup MakeExperiment2(std::uint64_t seed) {
+  Rng rng(seed);
+  ExperimentSetup setup;
+  setup.name = "Exp. 2: Trusted";
+  // The trusted population is smaller (27 workers) but each contributes
+  // more steadily, so the total wall clock stays near Experiment 1's.
+  // The paper ran the experiments at uncontrolled times — this population
+  // knows slightly fewer titles (≈0.20) and judges a bit less accurately.
+  for (std::size_t i = 0; i < 27; ++i) {
+    setup.pool.workers.push_back(
+        MakeHonest(rng, kHonestCountries[i % std::size(kHonestCountries)],
+                   0.20, 0.84, 2.8, 3.6));
+  }
+  setup.config.judgments_per_item = 10;
+  setup.config.items_per_hit = 10;
+  setup.config.payment_per_hit = 0.02;
+  setup.config.allow_dont_know = true;
+  setup.config.perception_flip_rate = 0.15;
+  setup.config.seed = seed + 1;
+  return setup;
+}
+
+ExperimentSetup MakeExperiment3(std::uint64_t seed) {
+  Rng rng(seed);
+  ExperimentSetup setup;
+  setup.name = "Exp. 3: Lookup";
+  for (std::size_t i = 0; i < 38; ++i) {
+    WorkerProfile worker;
+    worker.country = kHonestCountries[i % std::size(kHonestCountries)];
+    worker.honest = true;
+    worker.lookup_diligence = rng.Uniform(0.94, 0.99);
+    worker.positive_bias = 0.5;
+    worker.judgments_per_minute = rng.Uniform(0.46, 0.60);  // lookup is slow
+    setup.pool.workers.push_back(worker);
+  }
+  for (std::size_t i = 0; i < 13; ++i) {  // sloppy workers, screened by gold
+    WorkerProfile worker;
+    worker.country = SpammerCountries()[i % SpammerCountries().size()];
+    worker.honest = false;
+    worker.lookup_diligence = rng.Uniform(0.35, 0.55);
+    worker.positive_bias = rng.Uniform(0.5, 0.6);
+    worker.judgments_per_minute = rng.Uniform(0.6, 0.9);
+    setup.pool.workers.push_back(worker);
+  }
+  setup.config.judgments_per_item = 10;
+  setup.config.items_per_hit = 10;
+  setup.config.payment_per_hit = 0.03;
+  setup.config.allow_dont_know = false;
+  setup.config.lookup_mode = true;
+  setup.config.lookup_consensus_flip_rate = 0.03;
+  setup.config.lookup_contested_rate = 0.08;
+  setup.config.num_gold_questions = 100;
+  setup.config.gold_exclusion_threshold = 0.75;
+  setup.config.gold_min_probes = 3;
+  setup.config.seed = seed + 1;
+  return setup;
+}
+
+}  // namespace ccdb::crowd

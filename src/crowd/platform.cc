@@ -1,0 +1,234 @@
+#include "crowd/platform.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace ccdb::crowd {
+namespace {
+
+struct WorkerState {
+  double next_free_minutes = 0.0;
+  std::size_t gold_seen = 0;
+  std::size_t gold_correct = 0;
+  bool excluded = false;
+  bool participated = false;
+};
+
+// The label a worker's judgment is anchored to: in lookup mode the web
+// consensus, otherwise the casual-viewer perception consensus. Gold probes
+// anchor to their true (platform-known) label.
+Answer JudgeItem(const WorkerProfile& worker, bool anchor_label,
+                 bool contested, const HitRunConfig& config, Rng& rng) {
+  if (config.lookup_mode) {
+    if (contested) {
+      // The web sources disagree; each worker lands on one side at random.
+      return rng.Bernoulli(0.5) ? Answer::kPositive : Answer::kNegative;
+    }
+    if (rng.Bernoulli(worker.lookup_diligence)) {
+      return anchor_label ? Answer::kPositive : Answer::kNegative;
+    }
+    return rng.Bernoulli(worker.positive_bias) ? Answer::kPositive
+                                               : Answer::kNegative;
+  }
+
+  if (worker.honest) {
+    if (rng.Bernoulli(worker.knowledge)) {
+      const bool correct = rng.Bernoulli(worker.accuracy);
+      const bool answer = correct ? anchor_label : !anchor_label;
+      return answer ? Answer::kPositive : Answer::kNegative;
+    }
+    if (config.allow_dont_know) return Answer::kDontKnow;
+    return rng.Bernoulli(worker.positive_bias) ? Answer::kPositive
+                                               : Answer::kNegative;
+  }
+
+  // Dishonest worker: claims to know nearly everything and fabricates.
+  if (rng.Bernoulli(worker.knowledge)) {
+    return rng.Bernoulli(worker.positive_bias) ? Answer::kPositive
+                                               : Answer::kNegative;
+  }
+  return config.allow_dont_know
+             ? Answer::kDontKnow
+             : (rng.Bernoulli(worker.positive_bias) ? Answer::kPositive
+                                                    : Answer::kNegative);
+}
+
+}  // namespace
+
+WorkerPool WorkerPool::ExcludeCountries(
+    const std::vector<std::string>& countries) const {
+  WorkerPool filtered;
+  for (const WorkerProfile& worker : workers) {
+    const bool banned = std::find(countries.begin(), countries.end(),
+                                  worker.country) != countries.end();
+    if (!banned) filtered.workers.push_back(worker);
+  }
+  return filtered;
+}
+
+CrowdRunResult RunCrowdTask(const WorkerPool& pool,
+                            const std::vector<bool>& true_labels,
+                            const HitRunConfig& config) {
+  CCDB_CHECK(!pool.workers.empty());
+  CCDB_CHECK(!true_labels.empty());
+  CCDB_CHECK_GT(config.judgments_per_item, 0u);
+  CCDB_CHECK_GT(config.items_per_hit, 0u);
+
+  Rng rng(config.seed);
+  const std::size_t num_real_items = true_labels.size();
+  const std::size_t num_total_items =
+      num_real_items + config.num_gold_questions;
+
+  // Gold probes get reference answers matching the positive rate of the
+  // real task.
+  std::vector<bool> gold_labels(config.num_gold_questions);
+  double positive_rate = 0.0;
+  for (bool label : true_labels) positive_rate += label ? 1.0 : 0.0;
+  positive_rate /= static_cast<double>(num_real_items);
+  for (std::size_t g = 0; g < config.num_gold_questions; ++g) {
+    gold_labels[g] = rng.Bernoulli(positive_rate);
+  }
+
+  // The per-item judgment anchor: either the web consensus (lookup mode)
+  // or the casual-viewer perception consensus. Both model correlated,
+  // item-level deviation from the expert reference.
+  const double flip_rate = config.lookup_mode
+                               ? config.lookup_consensus_flip_rate
+                               : config.perception_flip_rate;
+  std::vector<bool> anchor(num_real_items);
+  std::vector<bool> contested(num_real_items, false);
+  for (std::size_t m = 0; m < num_real_items; ++m) {
+    anchor[m] = rng.Bernoulli(flip_rate) ? !true_labels[m] : true_labels[m];
+    if (config.lookup_mode) {
+      contested[m] = rng.Bernoulli(config.lookup_contested_rate);
+    }
+  }
+
+  // Items (including gold probes) are partitioned once into fixed HIT
+  // groups, exactly like a real HIT-group posting; each group is then
+  // completed `judgments_per_item` times by distinct workers.
+  std::vector<std::uint32_t> item_ids(num_total_items);
+  std::iota(item_ids.begin(), item_ids.end(), 0u);
+  rng.Shuffle(item_ids);
+  const std::size_t num_groups =
+      (num_total_items + config.items_per_hit - 1) / config.items_per_hit;
+
+  std::vector<WorkerState> states(pool.workers.size());
+  for (WorkerState& state : states) {
+    state.next_free_minutes = rng.Uniform() * 2.0;  // staggered arrival
+  }
+  // group_workers[g] = workers who already completed group g.
+  std::vector<std::vector<std::uint32_t>> group_workers(num_groups);
+
+  CrowdRunResult result;
+  for (std::size_t round = 0; round < config.judgments_per_item; ++round) {
+    // Randomize group order each round so the same workers don't always
+    // process the same groups back-to-back.
+    std::vector<std::size_t> group_order(num_groups);
+    std::iota(group_order.begin(), group_order.end(), 0u);
+    rng.Shuffle(group_order);
+
+    for (std::size_t g : group_order) {
+      // Earliest-free worker who has not completed this group yet.
+      std::size_t chosen = pool.workers.size();
+      double best_free = std::numeric_limits<double>::infinity();
+      for (std::size_t w = 0; w < pool.workers.size(); ++w) {
+        if (states[w].excluded) continue;
+        if (std::find(group_workers[g].begin(), group_workers[g].end(),
+                      static_cast<std::uint32_t>(w)) !=
+            group_workers[g].end()) {
+          continue;
+        }
+        if (states[w].next_free_minutes < best_free) {
+          best_free = states[w].next_free_minutes;
+          chosen = w;
+        }
+      }
+      if (chosen >= pool.workers.size()) {
+        // Pool exhausted for this group (more rounds than eligible
+        // workers); the group simply gets fewer judgments, as on a real
+        // platform when a HIT expires.
+        continue;
+      }
+      group_workers[g].push_back(static_cast<std::uint32_t>(chosen));
+
+      WorkerState& state = states[chosen];
+      const WorkerProfile& worker = pool.workers[chosen];
+      state.participated = true;
+      const std::size_t start = g * config.items_per_hit;
+      const std::size_t end =
+          std::min(num_total_items, start + config.items_per_hit);
+      const double duration = static_cast<double>(end - start) /
+                              worker.judgments_per_minute;
+      const double completion = state.next_free_minutes + duration;
+      state.next_free_minutes = completion;
+      result.total_cost_dollars += config.payment_per_hit;
+      const double cost_share =
+          config.payment_per_hit / static_cast<double>(end - start);
+
+      for (std::size_t i = start; i < end; ++i) {
+        const std::uint32_t item = item_ids[i];
+        const bool is_gold = item >= num_real_items;
+        const bool anchor_label = is_gold
+                                      ? gold_labels[item - num_real_items]
+                                      : anchor[item];
+        const bool item_contested = !is_gold && contested[item];
+        const Answer answer =
+            JudgeItem(worker, anchor_label, item_contested, config, rng);
+        Judgment judgment;
+        judgment.item = item;
+        judgment.worker = static_cast<std::uint32_t>(chosen);
+        judgment.answer = answer;
+        judgment.timestamp_minutes = completion;
+        judgment.cost_dollars = cost_share;
+        judgment.is_gold = is_gold;
+        result.judgments.push_back(judgment);
+
+        if (is_gold) {
+          ++state.gold_seen;
+          const bool answered_true = answer == Answer::kPositive;
+          if (answer != Answer::kDontKnow &&
+              answered_true == anchor_label) {
+            ++state.gold_correct;
+          }
+          if (state.gold_seen >= config.gold_min_probes) {
+            const double gold_accuracy =
+                static_cast<double>(state.gold_correct) /
+                static_cast<double>(state.gold_seen);
+            if (gold_accuracy < config.gold_exclusion_threshold) {
+              state.excluded = true;
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // Screening drops every judgment by excluded workers (the platform
+  // discards their work; the paper's Exp. 3 relied on exactly this).
+  if (config.num_gold_questions > 0) {
+    std::erase_if(result.judgments, [&](const Judgment& j) {
+      return states[j.worker].excluded;
+    });
+  }
+
+  std::sort(result.judgments.begin(), result.judgments.end(),
+            [](const Judgment& a, const Judgment& b) {
+              return a.timestamp_minutes < b.timestamp_minutes;
+            });
+  for (const WorkerState& state : states) {
+    if (state.participated) ++result.num_participating_workers;
+    if (state.excluded) ++result.num_excluded_workers;
+  }
+  result.total_minutes = result.judgments.empty()
+                             ? 0.0
+                             : result.judgments.back().timestamp_minutes;
+  return result;
+}
+
+}  // namespace ccdb::crowd

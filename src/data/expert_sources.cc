@@ -1,0 +1,46 @@
+#include "data/expert_sources.h"
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace ccdb::data {
+
+ExpertSources SimulateExpertSources(const SyntheticWorld& world,
+                                    const ExpertSourcesConfig& config) {
+  CCDB_CHECK_EQ(config.source_names.size(), config.flip_rates.size());
+  const std::size_t num_sources = config.source_names.size();
+  CCDB_CHECK_GE(num_sources, 3u);
+  const std::size_t num_genres = world.num_genres();
+  const std::size_t num_items = world.num_items();
+
+  Rng rng(config.seed);
+  ExpertSources sources;
+  sources.source_names = config.source_names;
+  sources.source_labels.resize(num_sources);
+  for (std::size_t s = 0; s < num_sources; ++s) {
+    sources.source_labels[s].resize(num_genres);
+    for (std::size_t g = 0; g < num_genres; ++g) {
+      std::vector<bool>& labels = sources.source_labels[s][g];
+      labels.resize(num_items);
+      for (std::size_t m = 0; m < num_items; ++m) {
+        const bool truth = world.GenreLabel(g, static_cast<std::uint32_t>(m));
+        labels[m] = rng.Bernoulli(config.flip_rates[s]) ? !truth : truth;
+      }
+    }
+  }
+
+  sources.majority.resize(num_genres);
+  for (std::size_t g = 0; g < num_genres; ++g) {
+    sources.majority[g].resize(num_items);
+    for (std::size_t m = 0; m < num_items; ++m) {
+      std::size_t votes = 0;
+      for (std::size_t s = 0; s < num_sources; ++s) {
+        if (sources.source_labels[s][g][m]) ++votes;
+      }
+      sources.majority[g][m] = votes * 2 > num_sources;
+    }
+  }
+  return sources;
+}
+
+}  // namespace ccdb::data

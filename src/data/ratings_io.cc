@@ -1,0 +1,110 @@
+#include "data/ratings_io.h"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <unordered_map>
+
+#include "common/csv.h"
+
+namespace ccdb::data {
+namespace {
+
+bool LooksNumeric(const std::string& field) {
+  if (field.empty()) return false;
+  std::size_t start = field[0] == '-' || field[0] == '+' ? 1 : 0;
+  if (start == field.size()) return false;
+  bool seen_dot = false;
+  for (std::size_t i = start; i < field.size(); ++i) {
+    if (field[i] == '.') {
+      if (seen_dot) return false;
+      seen_dot = true;
+      continue;
+    }
+    if (!std::isdigit(static_cast<unsigned char>(field[i]))) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+StatusOr<RatingDataset> LoadRatingsCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+
+  std::unordered_map<long long, std::uint32_t> item_ids, user_ids;
+  std::vector<Rating> ratings;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || (!line.empty() && line.back() == '\r' &&
+                         (line.pop_back(), line.empty()))) {
+      continue;
+    }
+    StatusOr<std::vector<std::string>> fields = ParseCsvLine(line);
+    if (!fields.ok()) {
+      return Status::InvalidArgument(path + ":" +
+                                     std::to_string(line_number) + ": " +
+                                     fields.status().message());
+    }
+    const std::vector<std::string>& row = fields.value();
+    if (row.size() < 3 || row.size() > 4) {
+      return Status::InvalidArgument(
+          path + ":" + std::to_string(line_number) +
+          ": expected item,user,score[,day]");
+    }
+    if (line_number == 1 && !LooksNumeric(row[0])) {
+      continue;  // header row
+    }
+    if (!LooksNumeric(row[0]) || !LooksNumeric(row[1]) ||
+        !LooksNumeric(row[2]) ||
+        (row.size() == 4 && !LooksNumeric(row[3]))) {
+      return Status::InvalidArgument(path + ":" +
+                                     std::to_string(line_number) +
+                                     ": non-numeric field");
+    }
+    const long long raw_item = std::strtoll(row[0].c_str(), nullptr, 10);
+    const long long raw_user = std::strtoll(row[1].c_str(), nullptr, 10);
+    if (raw_item < 0 || raw_user < 0) {
+      return Status::InvalidArgument(path + ":" +
+                                     std::to_string(line_number) +
+                                     ": negative id");
+    }
+    const auto item = item_ids
+                          .try_emplace(raw_item, static_cast<std::uint32_t>(
+                                                     item_ids.size()))
+                          .first->second;
+    const auto user = user_ids
+                          .try_emplace(raw_user, static_cast<std::uint32_t>(
+                                                     user_ids.size()))
+                          .first->second;
+    Rating rating;
+    rating.item = item;
+    rating.user = user;
+    rating.score = static_cast<float>(std::strtod(row[2].c_str(), nullptr));
+    if (row.size() == 4) {
+      rating.day = static_cast<float>(std::strtod(row[3].c_str(), nullptr));
+    }
+    ratings.push_back(rating);
+  }
+  if (ratings.empty()) {
+    return Status::InvalidArgument(path + ": no ratings found");
+  }
+  return RatingDataset(item_ids.size(), user_ids.size(), std::move(ratings));
+}
+
+Status SaveRatingsCsv(const RatingDataset& dataset, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::Internal("cannot open for writing: " + path);
+  CsvWriter csv(out);
+  csv.WriteRow({"item_id", "user_id", "score", "day"});
+  for (const Rating& rating : dataset.ratings()) {
+    csv.WriteRow({std::to_string(rating.item), std::to_string(rating.user),
+                  std::to_string(rating.score), std::to_string(rating.day)});
+  }
+  if (!out) return Status::Internal("short write to " + path);
+  return Status::Ok();
+}
+
+}  // namespace ccdb::data

@@ -1,0 +1,27 @@
+#ifndef CCDB_DATA_RATINGS_IO_H_
+#define CCDB_DATA_RATINGS_IO_H_
+
+#include <string>
+
+#include "common/sparse.h"
+#include "common/status.h"
+
+namespace ccdb::data {
+
+/// Loads a rating dataset from a CSV file in the MovieLens-style layout
+///
+///   item_id,user_id,score[,day]
+///
+/// with an optional header row (auto-detected: a first row whose fields
+/// are not numeric is skipped). Ids may be arbitrary non-negative
+/// integers; they are densified to contiguous 0-based ids in first-seen
+/// order. This is the adoption path for real Social-Web dumps: export
+/// your platform's ratings, load, build a perceptual space.
+StatusOr<RatingDataset> LoadRatingsCsv(const std::string& path);
+
+/// Writes a dataset in the same layout (with header, densified ids).
+Status SaveRatingsCsv(const RatingDataset& dataset, const std::string& path);
+
+}  // namespace ccdb::data
+
+#endif  // CCDB_DATA_RATINGS_IO_H_

@@ -1,0 +1,480 @@
+#include "db/database.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <optional>
+
+#include "common/check.h"
+#include "db/sql_parser.h"
+
+namespace ccdb::db {
+namespace {
+
+// Collects every column name referenced by an expression tree.
+void CollectColumns(const Expr* expr, std::vector<std::string>& out) {
+  if (expr == nullptr) return;
+  if (expr->kind == Expr::Kind::kColumn) out.push_back(expr->column);
+  CollectColumns(expr->left.get(), out);
+  CollectColumns(expr->right.get(), out);
+}
+
+// Evaluates an expression for one row under SQL three-valued logic:
+// nullopt = UNKNOWN. Non-Boolean values may only appear inside
+// comparisons; the caller validated column existence beforehand.
+StatusOr<Value> EvaluateValue(const Expr& expr, const Table& table,
+                              std::size_t row);
+
+StatusOr<std::optional<bool>> EvaluateBool(const Expr& expr,
+                                           const Table& table,
+                                           std::size_t row) {
+  switch (expr.kind) {
+    case Expr::Kind::kNot: {
+      StatusOr<std::optional<bool>> inner =
+          EvaluateBool(*expr.left, table, row);
+      if (!inner.ok()) return inner;
+      const std::optional<bool> v = inner.value();
+      if (!v.has_value()) return std::optional<bool>();
+      return std::optional<bool>(!*v);
+    }
+    case Expr::Kind::kBinary: {
+      if (expr.op == BinaryOp::kAnd || expr.op == BinaryOp::kOr) {
+        StatusOr<std::optional<bool>> left =
+            EvaluateBool(*expr.left, table, row);
+        if (!left.ok()) return left;
+        StatusOr<std::optional<bool>> right =
+            EvaluateBool(*expr.right, table, row);
+        if (!right.ok()) return right;
+        const std::optional<bool> l = left.value();
+        const std::optional<bool> r = right.value();
+        if (expr.op == BinaryOp::kAnd) {
+          if (l.has_value() && !*l) return std::optional<bool>(false);
+          if (r.has_value() && !*r) return std::optional<bool>(false);
+          if (l.has_value() && r.has_value()) return std::optional<bool>(true);
+          return std::optional<bool>();
+        }
+        if (l.has_value() && *l) return std::optional<bool>(true);
+        if (r.has_value() && *r) return std::optional<bool>(true);
+        if (l.has_value() && r.has_value()) return std::optional<bool>(false);
+        return std::optional<bool>();
+      }
+      // Comparison.
+      StatusOr<Value> left = EvaluateValue(*expr.left, table, row);
+      if (!left.ok()) return left.status();
+      StatusOr<Value> right = EvaluateValue(*expr.right, table, row);
+      if (!right.ok()) return right.status();
+      if (IsNull(left.value()) || IsNull(right.value())) {
+        return std::optional<bool>();
+      }
+      const bool left_string =
+          std::holds_alternative<std::string>(left.value());
+      const bool right_string =
+          std::holds_alternative<std::string>(right.value());
+      if (left_string != right_string) {
+        return Status::InvalidArgument(
+            "type mismatch: cannot compare string with non-string");
+      }
+      const int cmp = CompareNonNull(left.value(), right.value());
+      bool result = false;
+      switch (expr.op) {
+        case BinaryOp::kEq: result = cmp == 0; break;
+        case BinaryOp::kNe: result = cmp != 0; break;
+        case BinaryOp::kLt: result = cmp < 0; break;
+        case BinaryOp::kLe: result = cmp <= 0; break;
+        case BinaryOp::kGt: result = cmp > 0; break;
+        case BinaryOp::kGe: result = cmp >= 0; break;
+        default: return Status::Internal("unexpected operator");
+      }
+      return std::optional<bool>(result);
+    }
+    case Expr::Kind::kColumn:
+    case Expr::Kind::kLiteral: {
+      StatusOr<Value> value = EvaluateValue(expr, table, row);
+      if (!value.ok()) return value.status();
+      if (IsNull(value.value())) return std::optional<bool>();
+      if (const bool* b = std::get_if<bool>(&value.value())) {
+        return std::optional<bool>(*b);
+      }
+      return Status::InvalidArgument(
+          "non-Boolean value used as a condition");
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+StatusOr<Value> EvaluateValue(const Expr& expr, const Table& table,
+                              std::size_t row) {
+  switch (expr.kind) {
+    case Expr::Kind::kLiteral:
+      return expr.literal;
+    case Expr::Kind::kColumn: {
+      const std::size_t index = table.schema().FindColumn(expr.column);
+      if (index == Schema::kNotFound) {
+        return Status::NotFound("no such column: " + expr.column);
+      }
+      return table.Get(row, index);
+    }
+    default: {
+      StatusOr<std::optional<bool>> value = EvaluateBool(expr, table, row);
+      if (!value.ok()) return value.status();
+      if (!value.value().has_value()) return Value{};
+      return Value(*value.value());
+    }
+  }
+}
+
+}  // namespace
+
+Status Database::AddTable(Table table) {
+  const std::string name = table.name();
+  if (tables_.contains(name)) {
+    return Status::InvalidArgument("table already exists: " + name);
+  }
+  tables_.emplace(name, std::move(table));
+  return Status::Ok();
+}
+
+const Table* Database::FindTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+Table* Database::FindMutableTable(const std::string& name) {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+StatusOr<Table> Database::Execute(const std::string& sql) {
+  StatusOr<SelectStatement> statement = ParseSelect(sql);
+  if (!statement.ok()) return statement.status();
+  return ExecuteSelect(statement.value());
+}
+
+Status Database::EnsureColumns(Table& table,
+                               const SelectStatement& statement) {
+  std::vector<std::string> referenced;
+  for (const SelectItem& item : statement.items) {
+    if (!item.column.empty()) referenced.push_back(item.column);
+  }
+  CollectColumns(statement.where.get(), referenced);
+  if (!statement.group_by_column.empty()) {
+    referenced.push_back(statement.group_by_column);
+  }
+  // With aggregates, ORDER BY refers to an *output* column (possibly an
+  // aggregate like "count(*)"), not a table column.
+  if (!statement.order_by_column.empty() && !statement.HasAggregates()) {
+    referenced.push_back(statement.order_by_column);
+  }
+  for (const std::string& column : referenced) {
+    if (table.schema().FindColumn(column) != Schema::kNotFound) continue;
+    if (resolver_ == nullptr) {
+      return Status::NotFound("no such column: " + column +
+                              " (and no schema-expansion resolver is set)");
+    }
+    // Query-driven schema expansion: materialize the column now.
+    const Status status = resolver_->Resolve(table, column);
+    if (!status.ok()) return status;
+    if (table.schema().FindColumn(column) == Schema::kNotFound) {
+      return Status::Internal("resolver did not materialize column " +
+                              column);
+    }
+  }
+  return Status::Ok();
+}
+
+StatusOr<Table> Database::ExecuteSelect(const SelectStatement& statement) {
+  Table* table = FindMutableTable(statement.table);
+  if (table == nullptr) {
+    return Status::NotFound("no such table: " + statement.table);
+  }
+  if (Status status = EnsureColumns(*table, statement); !status.ok()) {
+    return status;
+  }
+
+  // Filter.
+  std::vector<std::size_t> selected_rows;
+  for (std::size_t row = 0; row < table->num_rows(); ++row) {
+    if (statement.where == nullptr) {
+      selected_rows.push_back(row);
+      continue;
+    }
+    StatusOr<std::optional<bool>> keep =
+        EvaluateBool(*statement.where, *table, row);
+    if (!keep.ok()) return keep.status();
+    if (keep.value().has_value() && *keep.value()) {
+      selected_rows.push_back(row);
+    }
+  }
+
+  // Aggregate path: GROUP BY / aggregate functions over the filtered set.
+  if (statement.HasAggregates()) {
+    return ExecuteAggregates(*table, statement, selected_rows);
+  }
+  if (statement.having != nullptr) {
+    return Status::InvalidArgument("HAVING requires aggregates");
+  }
+
+  // Order.
+  if (!statement.order_by_column.empty()) {
+    const std::size_t order_index =
+        table->schema().FindColumn(statement.order_by_column);
+    CCDB_CHECK_NE(order_index, Schema::kNotFound);
+    std::stable_sort(
+        selected_rows.begin(), selected_rows.end(),
+        [&](std::size_t a, std::size_t b) {
+          const Value& va = table->Get(a, order_index);
+          const Value& vb = table->Get(b, order_index);
+          if (IsNull(va)) return false;  // NULLs sort last either way
+          if (IsNull(vb)) return true;
+          const int cmp = CompareNonNull(va, vb);
+          return statement.order_descending ? cmp > 0 : cmp < 0;
+        });
+  }
+
+  // Limit.
+  if (statement.limit.has_value() &&
+      selected_rows.size() > *statement.limit) {
+    selected_rows.resize(*statement.limit);
+  }
+
+  // Project.
+  std::vector<std::size_t> projection;
+  std::vector<ColumnDef> result_columns;
+  if (statement.items.empty()) {
+    projection.resize(table->schema().num_columns());
+    std::iota(projection.begin(), projection.end(), 0u);
+    result_columns = table->schema().columns();
+  } else {
+    for (const SelectItem& item : statement.items) {
+      const std::size_t index = table->schema().FindColumn(item.column);
+      CCDB_CHECK_NE(index, Schema::kNotFound);
+      projection.push_back(index);
+      result_columns.push_back(table->schema().column(index));
+    }
+  }
+
+  Table result("result", Schema(result_columns));
+  for (std::size_t row : selected_rows) {
+    std::vector<Value> values;
+    values.reserve(projection.size());
+    for (std::size_t column : projection) {
+      values.push_back(table->Get(row, column));
+    }
+    const Status status = result.AppendRow(std::move(values));
+    if (!status.ok()) return status;
+  }
+  return result;
+}
+
+namespace {
+
+// Running state of one aggregate within one group.
+struct AggregateState {
+  std::size_t count = 0;   // non-NULL inputs seen
+  double sum = 0.0;
+  Value min;
+  Value max;
+
+  void Accumulate(const Value& value) {
+    if (IsNull(value)) return;
+    ++count;
+    if (!std::holds_alternative<std::string>(value)) {
+      sum += AsNumeric(value);
+    }
+    if (IsNull(min) || CompareNonNull(value, min) < 0) min = value;
+    if (IsNull(max) || CompareNonNull(value, max) > 0) max = value;
+  }
+
+  Value Finalize(AggregateFunc func) const {
+    switch (func) {
+      case AggregateFunc::kCount:
+        return Value(static_cast<std::int64_t>(count));
+      case AggregateFunc::kSum:
+        return count == 0 ? Value{} : Value(sum);
+      case AggregateFunc::kAvg:
+        return count == 0 ? Value{}
+                          : Value(sum / static_cast<double>(count));
+      case AggregateFunc::kMin:
+        return min;
+      case AggregateFunc::kMax:
+        return max;
+    }
+    return Value{};
+  }
+};
+
+std::string AggregateName(const SelectItem& item) {
+  const char* func = "count";
+  switch (item.func) {
+    case AggregateFunc::kCount: func = "count"; break;
+    case AggregateFunc::kSum: func = "sum"; break;
+    case AggregateFunc::kAvg: func = "avg"; break;
+    case AggregateFunc::kMin: func = "min"; break;
+    case AggregateFunc::kMax: func = "max"; break;
+  }
+  return std::string(func) + "(" +
+         (item.column.empty() ? "*" : item.column) + ")";
+}
+
+ColumnType AggregateType(const SelectItem& item, const Table& table) {
+  switch (item.func) {
+    case AggregateFunc::kCount:
+      return ColumnType::kInt;
+    case AggregateFunc::kSum:
+    case AggregateFunc::kAvg:
+      return ColumnType::kDouble;
+    case AggregateFunc::kMin:
+    case AggregateFunc::kMax: {
+      const std::size_t index = table.schema().FindColumn(item.column);
+      CCDB_CHECK_NE(index, Schema::kNotFound);
+      return table.schema().column(index).type;
+    }
+  }
+  return ColumnType::kDouble;
+}
+
+}  // namespace
+
+StatusOr<Table> Database::ExecuteAggregates(
+    const Table& table, const SelectStatement& statement,
+    const std::vector<std::size_t>& selected_rows) {
+  const bool grouped = !statement.group_by_column.empty();
+  std::size_t group_column = Schema::kNotFound;
+  if (grouped) {
+    group_column = table.schema().FindColumn(statement.group_by_column);
+    CCDB_CHECK_NE(group_column, Schema::kNotFound);
+  }
+
+  // Validate the select list: plain columns must be the GROUP BY column;
+  // aggregate arguments (and SUM/AVG numeric-ness) must resolve.
+  for (const SelectItem& item : statement.items) {
+    if (item.kind == SelectItem::Kind::kColumn) {
+      if (!grouped || item.column != statement.group_by_column) {
+        return Status::InvalidArgument(
+            "non-aggregate column " + item.column +
+            " must appear in GROUP BY");
+      }
+      continue;
+    }
+    if (item.column.empty()) continue;  // COUNT(*)
+    const std::size_t index = table.schema().FindColumn(item.column);
+    if (index == Schema::kNotFound) {
+      return Status::NotFound("no such column: " + item.column);
+    }
+    const ColumnType type = table.schema().column(index).type;
+    if ((item.func == AggregateFunc::kSum ||
+         item.func == AggregateFunc::kAvg) &&
+        type == ColumnType::kString) {
+      return Status::InvalidArgument("SUM/AVG need a numeric column");
+    }
+  }
+
+  // Partition rows into groups, preserving first-seen group order.
+  std::vector<Value> group_keys;
+  std::vector<std::vector<std::size_t>> groups;
+  if (!grouped) {
+    group_keys.emplace_back();
+    groups.push_back(selected_rows);
+  } else {
+    std::map<std::string, std::size_t> group_index;  // rendered key → slot
+    for (std::size_t row : selected_rows) {
+      const Value& key = table.Get(row, group_column);
+      const std::string rendered = ToString(key);
+      auto [it, inserted] =
+          group_index.try_emplace(rendered, groups.size());
+      if (inserted) {
+        group_keys.push_back(key);
+        groups.emplace_back();
+      }
+      groups[it->second].push_back(row);
+    }
+  }
+
+  // Result schema.
+  std::vector<ColumnDef> result_columns;
+  for (const SelectItem& item : statement.items) {
+    if (item.kind == SelectItem::Kind::kColumn) {
+      result_columns.push_back(
+          table.schema().column(table.schema().FindColumn(item.column)));
+    } else {
+      result_columns.push_back(
+          {AggregateName(item), AggregateType(item, table)});
+    }
+  }
+
+  Table result("result", Schema(result_columns));
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    std::vector<Value> row_values;
+    for (const SelectItem& item : statement.items) {
+      if (item.kind == SelectItem::Kind::kColumn) {
+        row_values.push_back(group_keys[g]);
+        continue;
+      }
+      AggregateState state;
+      if (item.column.empty()) {
+        state.count = groups[g].size();  // COUNT(*)
+      } else {
+        const std::size_t index = table.schema().FindColumn(item.column);
+        for (std::size_t row : groups[g]) {
+          state.Accumulate(table.Get(row, index));
+        }
+      }
+      row_values.push_back(state.Finalize(item.func));
+    }
+    if (Status status = result.AppendRow(std::move(row_values));
+        !status.ok()) {
+      return status;
+    }
+  }
+
+  // HAVING filters the aggregate rows by output-column expressions.
+  std::vector<std::size_t> kept_rows;
+  for (std::size_t row = 0; row < result.num_rows(); ++row) {
+    if (statement.having == nullptr) {
+      kept_rows.push_back(row);
+      continue;
+    }
+    StatusOr<std::optional<bool>> keep =
+        EvaluateBool(*statement.having, result, row);
+    if (!keep.ok()) return keep.status();
+    if (keep.value().has_value() && *keep.value()) kept_rows.push_back(row);
+  }
+
+  // ORDER BY on the result (by output column name), then LIMIT.
+  std::vector<std::size_t>& order = kept_rows;
+  if (!statement.order_by_column.empty()) {
+    const std::size_t order_index =
+        result.schema().FindColumn(statement.order_by_column);
+    if (order_index == Schema::kNotFound) {
+      return Status::InvalidArgument(
+          "ORDER BY column must appear in the aggregate select list");
+    }
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       const Value& va = result.Get(a, order_index);
+                       const Value& vb = result.Get(b, order_index);
+                       if (IsNull(va)) return false;
+                       if (IsNull(vb)) return true;
+                       const int cmp = CompareNonNull(va, vb);
+                       return statement.order_descending ? cmp > 0
+                                                         : cmp < 0;
+                     });
+  }
+  if (statement.limit.has_value() && order.size() > *statement.limit) {
+    order.resize(*statement.limit);
+  }
+  Table final_result("result", result.schema());
+  for (std::size_t row : order) {
+    std::vector<Value> values;
+    for (std::size_t c = 0; c < result.schema().num_columns(); ++c) {
+      values.push_back(result.Get(row, c));
+    }
+    if (Status status = final_result.AppendRow(std::move(values));
+        !status.ok()) {
+      return status;
+    }
+  }
+  return final_result;
+}
+
+}  // namespace ccdb::db

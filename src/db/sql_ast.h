@@ -1,0 +1,85 @@
+#ifndef CCDB_DB_SQL_AST_H_
+#define CCDB_DB_SQL_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "db/value.h"
+
+namespace ccdb::db {
+
+/// Binary operators of the WHERE grammar.
+enum class BinaryOp {
+  kEq,   // =
+  kNe,   // != or <>
+  kLt,   // <
+  kLe,   // <=
+  kGt,   // >
+  kGe,   // >=
+  kAnd,  // AND
+  kOr,   // OR
+};
+
+/// Expression tree node of a WHERE clause. A deliberately small algebra:
+/// column refs, literals, comparisons, AND/OR/NOT.
+struct Expr {
+  enum class Kind { kColumn, kLiteral, kBinary, kNot };
+
+  Kind kind = Kind::kLiteral;
+  std::string column;                 // kColumn
+  Value literal;                      // kLiteral
+  BinaryOp op = BinaryOp::kEq;        // kBinary
+  std::unique_ptr<Expr> left;         // kBinary / kNot
+  std::unique_ptr<Expr> right;        // kBinary
+
+  static std::unique_ptr<Expr> Column(std::string name);
+  static std::unique_ptr<Expr> Literal(Value value);
+  static std::unique_ptr<Expr> Binary(BinaryOp op, std::unique_ptr<Expr> left,
+                                      std::unique_ptr<Expr> right);
+  static std::unique_ptr<Expr> Not(std::unique_ptr<Expr> operand);
+};
+
+/// Aggregate functions of the SELECT list.
+enum class AggregateFunc {
+  kCount,  // COUNT(*) or COUNT(col) (non-NULL count)
+  kSum,
+  kAvg,
+  kMin,
+  kMax,
+};
+
+/// One item of the SELECT list: either a plain column or an aggregate.
+struct SelectItem {
+  enum class Kind { kColumn, kAggregate };
+  Kind kind = Kind::kColumn;
+  std::string column;  // argument column; empty for COUNT(*)
+  AggregateFunc func = AggregateFunc::kCount;
+
+  static SelectItem Column(std::string name);
+  static SelectItem Aggregate(AggregateFunc func, std::string column);
+};
+
+/// Parsed `SELECT items FROM table [WHERE expr] [GROUP BY col]
+/// [HAVING expr] [ORDER BY col [DESC]] [LIMIT n]` statement.
+struct SelectStatement {
+  /// Empty means `SELECT *`.
+  std::vector<SelectItem> items;
+  std::string table;
+  std::unique_ptr<Expr> where;   // may be null
+  std::string group_by_column;   // empty = no GROUP BY
+  /// HAVING filter over the aggregate output (column refs may be
+  /// aggregate output names like "count(*)"); null = none.
+  std::unique_ptr<Expr> having;
+  std::string order_by_column;   // empty = no ORDER BY
+  bool order_descending = false;
+  std::optional<std::size_t> limit;
+
+  /// True when any select item is an aggregate.
+  bool HasAggregates() const;
+};
+
+}  // namespace ccdb::db
+
+#endif  // CCDB_DB_SQL_AST_H_

@@ -1,0 +1,130 @@
+#include "db/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/table_printer.h"
+
+namespace ccdb::db {
+
+Schema::Schema(std::vector<ColumnDef> columns) : columns_(std::move(columns)) {
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    for (std::size_t j = i + 1; j < columns_.size(); ++j) {
+      CCDB_CHECK_MSG(columns_[i].name != columns_[j].name,
+                     "duplicate column " << columns_[i].name);
+    }
+  }
+}
+
+const ColumnDef& Schema::column(std::size_t index) const {
+  CCDB_CHECK_LT(index, columns_.size());
+  return columns_[index];
+}
+
+std::size_t Schema::FindColumn(const std::string& name) const {
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return kNotFound;
+}
+
+Status Schema::AddColumn(const ColumnDef& column) {
+  if (FindColumn(column.name) != kNotFound) {
+    return Status::InvalidArgument("column already exists: " + column.name);
+  }
+  columns_.push_back(column);
+  return Status::Ok();
+}
+
+Table::Table(std::string name, Schema schema)
+    : name_(std::move(name)),
+      schema_(std::move(schema)),
+      columns_(schema_.num_columns()) {}
+
+Status Table::AppendRow(std::vector<Value> values) {
+  if (values.size() != schema_.num_columns()) {
+    return Status::InvalidArgument("row arity mismatch");
+  }
+  for (std::size_t c = 0; c < values.size(); ++c) {
+    if (!Conforms(values[c], schema_.column(c).type)) {
+      return Status::InvalidArgument(
+          "type mismatch in column " + schema_.column(c).name + ": got " +
+          ToString(values[c]));
+    }
+  }
+  for (std::size_t c = 0; c < values.size(); ++c) {
+    columns_[c].push_back(std::move(values[c]));
+  }
+  ++num_rows_;
+  return Status::Ok();
+}
+
+const Value& Table::Get(std::size_t row, std::size_t column) const {
+  CCDB_CHECK_LT(row, num_rows_);
+  CCDB_CHECK_LT(column, columns_.size());
+  return columns_[column][row];
+}
+
+void Table::Set(std::size_t row, std::size_t column, Value value) {
+  CCDB_CHECK_LT(row, num_rows_);
+  CCDB_CHECK_LT(column, columns_.size());
+  CCDB_CHECK_MSG(Conforms(value, schema_.column(column).type),
+                 "type mismatch in column " << schema_.column(column).name);
+  columns_[column][row] = std::move(value);
+}
+
+const std::vector<Value>& Table::Column(std::size_t column) const {
+  CCDB_CHECK_LT(column, columns_.size());
+  return columns_[column];
+}
+
+Status Table::AddColumn(const ColumnDef& column) {
+  const Status status = schema_.AddColumn(column);
+  if (!status.ok()) return status;
+  columns_.emplace_back(num_rows_, Value{});  // all NULL
+  return Status::Ok();
+}
+
+Status Table::FillColumn(std::size_t column,
+                         const std::vector<Value>& values) {
+  if (column >= columns_.size()) {
+    return Status::OutOfRange("no such column index");
+  }
+  if (values.size() != num_rows_) {
+    return Status::InvalidArgument("column fill size mismatch");
+  }
+  for (const Value& value : values) {
+    if (!Conforms(value, schema_.column(column).type)) {
+      return Status::InvalidArgument("type mismatch in column fill");
+    }
+  }
+  columns_[column] = values;
+  return Status::Ok();
+}
+
+std::string Table::ToText(std::size_t max_rows) const {
+  std::vector<std::string> headers;
+  headers.reserve(schema_.num_columns());
+  for (const ColumnDef& column : schema_.columns()) {
+    headers.push_back(column.name);
+  }
+  TablePrinter printer(headers);
+  const std::size_t rows = std::min(max_rows, num_rows_);
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::vector<std::string> cells;
+    cells.reserve(schema_.num_columns());
+    for (std::size_t c = 0; c < schema_.num_columns(); ++c) {
+      cells.push_back(ToString(Get(r, c)));
+    }
+    printer.AddRow(std::move(cells));
+  }
+  std::ostringstream oss;
+  printer.Print(oss);
+  if (num_rows_ > rows) {
+    oss << "… " << (num_rows_ - rows) << " more rows\n";
+  }
+  return oss.str();
+}
+
+}  // namespace ccdb::db

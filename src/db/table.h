@@ -1,0 +1,81 @@
+#ifndef CCDB_DB_TABLE_H_
+#define CCDB_DB_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "db/value.h"
+
+namespace ccdb::db {
+
+/// Definition of one column: name + type.
+struct ColumnDef {
+  std::string name;
+  ColumnType type = ColumnType::kString;
+};
+
+/// Ordered column list of a table. Column names are case-sensitive and
+/// unique.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> columns);
+
+  std::size_t num_columns() const { return columns_.size(); }
+  const ColumnDef& column(std::size_t index) const;
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+
+  /// Index of a column by name, or npos.
+  static constexpr std::size_t kNotFound = static_cast<std::size_t>(-1);
+  std::size_t FindColumn(const std::string& name) const;
+
+  /// Appends a column; fails if the name already exists.
+  Status AddColumn(const ColumnDef& column);
+
+ private:
+  std::vector<ColumnDef> columns_;
+};
+
+/// Column-store table with nullable cells. Supports the operation that
+/// makes a schema *expandable*: AddColumn() on a populated table creates
+/// an all-NULL column that a resolver then fills at query time.
+class Table {
+ public:
+  Table() = default;
+  Table(std::string name, Schema schema);
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  std::size_t num_rows() const { return num_rows_; }
+
+  /// Appends a row; values must match the schema arity and types.
+  Status AppendRow(std::vector<Value> values);
+
+  /// Cell accessors (CHECK on out-of-range indices).
+  const Value& Get(std::size_t row, std::size_t column) const;
+  void Set(std::size_t row, std::size_t column, Value value);
+
+  /// Whole column view.
+  const std::vector<Value>& Column(std::size_t column) const;
+
+  /// Schema expansion: appends a new all-NULL column.
+  Status AddColumn(const ColumnDef& column);
+
+  /// Bulk-fills a column from per-row values (sizes must match).
+  Status FillColumn(std::size_t column, const std::vector<Value>& values);
+
+  /// Renders the first `max_rows` rows as an aligned text table.
+  std::string ToText(std::size_t max_rows = 20) const;
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<std::vector<Value>> columns_;  // column-major storage
+  std::size_t num_rows_ = 0;
+};
+
+}  // namespace ccdb::db
+
+#endif  // CCDB_DB_TABLE_H_

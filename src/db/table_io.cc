@@ -1,0 +1,123 @@
+#include "db/table_io.h"
+
+#include <cstdlib>
+#include <fstream>
+
+#include "common/csv.h"
+
+namespace ccdb::db {
+namespace {
+
+const char* TypeTag(ColumnType type) { return ColumnTypeName(type); }
+
+StatusOr<ColumnType> ParseTypeTag(const std::string& tag) {
+  if (tag == "BOOL") return ColumnType::kBool;
+  if (tag == "INT") return ColumnType::kInt;
+  if (tag == "DOUBLE") return ColumnType::kDouble;
+  if (tag == "STRING") return ColumnType::kString;
+  return Status::InvalidArgument("unknown column type tag: " + tag);
+}
+
+StatusOr<Value> ParseCell(const std::string& field, ColumnType type) {
+  if (field.empty()) return Value{};  // NULL
+  switch (type) {
+    case ColumnType::kBool:
+      if (field == "true") return Value(true);
+      if (field == "false") return Value(false);
+      return Status::InvalidArgument("bad bool cell: " + field);
+    case ColumnType::kInt:
+      return Value(static_cast<std::int64_t>(
+          std::strtoll(field.c_str(), nullptr, 10)));
+    case ColumnType::kDouble:
+      return Value(std::strtod(field.c_str(), nullptr));
+    case ColumnType::kString:
+      return Value(field);
+  }
+  return Status::Internal("unreachable");
+}
+
+}  // namespace
+
+Status SaveTableCsv(const Table& table, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::Internal("cannot open for writing: " + path);
+  CsvWriter csv(out);
+
+  std::vector<std::string> header;
+  header.reserve(table.schema().num_columns());
+  for (const ColumnDef& column : table.schema().columns()) {
+    header.push_back(column.name + ":" + TypeTag(column.type));
+  }
+  csv.WriteRow(header);
+
+  for (std::size_t row = 0; row < table.num_rows(); ++row) {
+    std::vector<std::string> cells;
+    cells.reserve(table.schema().num_columns());
+    for (std::size_t column = 0; column < table.schema().num_columns();
+         ++column) {
+      const Value& value = table.Get(row, column);
+      cells.push_back(IsNull(value) ? std::string() : ToString(value));
+    }
+    csv.WriteRow(cells);
+  }
+  if (!out) return Status::Internal("short write to " + path);
+  return Status::Ok();
+}
+
+StatusOr<Table> LoadTableCsv(const std::string& path,
+                             const std::string& table_name) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument(path + ": missing header");
+  }
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  StatusOr<std::vector<std::string>> header = ParseCsvLine(line);
+  if (!header.ok()) return header.status();
+
+  std::vector<ColumnDef> columns;
+  for (const std::string& field : header.value()) {
+    const std::size_t colon = field.rfind(':');
+    if (colon == std::string::npos) {
+      return Status::InvalidArgument(path + ": header field without type: " +
+                                     field);
+    }
+    StatusOr<ColumnType> type = ParseTypeTag(field.substr(colon + 1));
+    if (!type.ok()) return type.status();
+    columns.push_back({field.substr(0, colon), type.value()});
+  }
+
+  Table table(table_name, Schema(columns));
+  std::size_t line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    StatusOr<std::vector<std::string>> fields = ParseCsvLine(line);
+    if (!fields.ok()) {
+      return Status::InvalidArgument(path + ":" +
+                                     std::to_string(line_number) + ": " +
+                                     fields.status().message());
+    }
+    if (fields.value().size() != columns.size()) {
+      return Status::InvalidArgument(path + ":" +
+                                     std::to_string(line_number) +
+                                     ": arity mismatch");
+    }
+    std::vector<Value> values;
+    values.reserve(columns.size());
+    for (std::size_t c = 0; c < columns.size(); ++c) {
+      StatusOr<Value> value = ParseCell(fields.value()[c], columns[c].type);
+      if (!value.ok()) return value.status();
+      values.push_back(std::move(value).value());
+    }
+    if (Status status = table.AppendRow(std::move(values)); !status.ok()) {
+      return status;
+    }
+  }
+  return table;
+}
+
+}  // namespace ccdb::db

@@ -1,0 +1,24 @@
+#ifndef CCDB_DB_TABLE_IO_H_
+#define CCDB_DB_TABLE_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "db/table.h"
+
+namespace ccdb::db {
+
+/// Persists a table as CSV with a typed header row
+/// (`name:STRING,year:INT,...`). NULL cells are written as empty fields;
+/// string cells are RFC-4180 quoted when needed. An expanded schema —
+/// including the crowd/space-materialized perceptual columns — survives
+/// the round trip, so an expansion paid for once can be shipped.
+Status SaveTableCsv(const Table& table, const std::string& path);
+
+/// Loads a table written by SaveTableCsv. `table_name` names the result.
+StatusOr<Table> LoadTableCsv(const std::string& path,
+                             const std::string& table_name);
+
+}  // namespace ccdb::db
+
+#endif  // CCDB_DB_TABLE_IO_H_

@@ -1,0 +1,81 @@
+#include "db/value.h"
+
+#include <sstream>
+
+#include "common/check.h"
+
+namespace ccdb::db {
+
+std::string ToString(const Value& value) {
+  if (IsNull(value)) return "NULL";
+  if (const bool* b = std::get_if<bool>(&value)) return *b ? "true" : "false";
+  if (const std::int64_t* i = std::get_if<std::int64_t>(&value)) {
+    return std::to_string(*i);
+  }
+  if (const double* d = std::get_if<double>(&value)) {
+    std::ostringstream oss;
+    oss << *d;
+    return oss.str();
+  }
+  return std::get<std::string>(value);
+}
+
+ColumnType TypeOf(const Value& value) {
+  CCDB_CHECK(!IsNull(value));
+  if (std::holds_alternative<bool>(value)) return ColumnType::kBool;
+  if (std::holds_alternative<std::int64_t>(value)) return ColumnType::kInt;
+  if (std::holds_alternative<double>(value)) return ColumnType::kDouble;
+  return ColumnType::kString;
+}
+
+bool Conforms(const Value& value, ColumnType type) {
+  if (IsNull(value)) return true;
+  const ColumnType actual = TypeOf(value);
+  if (actual == type) return true;
+  // Ints are storable in double columns (numeric literals parse as either).
+  return actual == ColumnType::kInt && type == ColumnType::kDouble;
+}
+
+double AsNumeric(const Value& value) {
+  CCDB_CHECK(!IsNull(value));
+  if (const bool* b = std::get_if<bool>(&value)) return *b ? 1.0 : 0.0;
+  if (const std::int64_t* i = std::get_if<std::int64_t>(&value)) {
+    return static_cast<double>(*i);
+  }
+  if (const double* d = std::get_if<double>(&value)) return *d;
+  CCDB_CHECK_MSG(false, "string value used in numeric context");
+  return 0.0;
+}
+
+int CompareNonNull(const Value& left, const Value& right) {
+  CCDB_CHECK(!IsNull(left));
+  CCDB_CHECK(!IsNull(right));
+  const bool left_string = std::holds_alternative<std::string>(left);
+  const bool right_string = std::holds_alternative<std::string>(right);
+  CCDB_CHECK_MSG(left_string == right_string,
+                 "cannot compare string with non-string");
+  if (left_string) {
+    const std::string& l = std::get<std::string>(left);
+    const std::string& r = std::get<std::string>(right);
+    if (l < r) return -1;
+    if (l > r) return 1;
+    return 0;
+  }
+  const double l = AsNumeric(left);
+  const double r = AsNumeric(right);
+  if (l < r) return -1;
+  if (l > r) return 1;
+  return 0;
+}
+
+const char* ColumnTypeName(ColumnType type) {
+  switch (type) {
+    case ColumnType::kBool: return "BOOL";
+    case ColumnType::kInt: return "INT";
+    case ColumnType::kDouble: return "DOUBLE";
+    case ColumnType::kString: return "STRING";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace ccdb::db

@@ -1,0 +1,62 @@
+#include "eval/neighbors.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/vec.h"
+
+namespace ccdb::eval {
+
+std::vector<Neighbor> KNearestNeighbors(const Matrix& points,
+                                        std::size_t query, std::size_t k) {
+  CCDB_CHECK_LT(query, points.rows());
+  const auto query_row = points.Row(query);
+  // Max-heap of the k best seen so far, keyed by distance.
+  std::vector<Neighbor> heap;
+  heap.reserve(k + 1);
+  auto by_distance = [](const Neighbor& a, const Neighbor& b) {
+    return a.distance < b.distance;
+  };
+  for (std::size_t i = 0; i < points.rows(); ++i) {
+    if (i == query) continue;
+    const double dist = std::sqrt(SquaredDistance(points.Row(i), query_row));
+    if (heap.size() < k) {
+      heap.push_back({i, dist});
+      std::push_heap(heap.begin(), heap.end(), by_distance);
+    } else if (!heap.empty() && dist < heap.front().distance) {
+      std::pop_heap(heap.begin(), heap.end(), by_distance);
+      heap.back() = {i, dist};
+      std::push_heap(heap.begin(), heap.end(), by_distance);
+    }
+  }
+  std::sort_heap(heap.begin(), heap.end(), by_distance);
+  return heap;
+}
+
+double NeighborLabelCoherence(
+    const Matrix& points, const std::vector<std::vector<bool>>& item_labels,
+    const std::vector<std::size_t>& queries, std::size_t k) {
+  CCDB_CHECK_EQ(points.rows(), item_labels.size());
+  if (queries.empty() || k == 0) return 0.0;
+  double total = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t query : queries) {
+    const auto neighbors = KNearestNeighbors(points, query, k);
+    const auto& query_labels = item_labels[query];
+    for (const Neighbor& n : neighbors) {
+      const auto& labels = item_labels[n.index];
+      bool shared = false;
+      const std::size_t num_labels =
+          std::min(labels.size(), query_labels.size());
+      for (std::size_t l = 0; l < num_labels && !shared; ++l) {
+        shared = labels[l] && query_labels[l];
+      }
+      total += shared ? 1.0 : 0.0;
+      ++counted;
+    }
+  }
+  return counted == 0 ? 0.0 : total / static_cast<double>(counted);
+}
+
+}  // namespace ccdb::eval

@@ -1,0 +1,33 @@
+#ifndef CCDB_EVAL_NEIGHBORS_H_
+#define CCDB_EVAL_NEIGHBORS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/matrix.h"
+
+namespace ccdb::eval {
+
+/// A neighbor hit: row index plus Euclidean distance from the query row.
+struct Neighbor {
+  std::size_t index = 0;
+  double distance = 0.0;
+};
+
+/// Returns the k nearest rows of `points` to row `query` (excluding the
+/// query itself), ordered by ascending Euclidean distance. Used for the
+/// Table 2 demonstration and the Sec. 4.2 space-quality probe.
+std::vector<Neighbor> KNearestNeighbors(const Matrix& points,
+                                        std::size_t query, std::size_t k);
+
+/// Fraction of each item's k nearest neighbors that share at least one
+/// ground-truth label with the item, averaged over `queries`. Labels are
+/// given as per-item bitsets (outer index = item, inner = label id).
+/// Measures whether the space is perceptually coherent (Table 2's point).
+double NeighborLabelCoherence(
+    const Matrix& points, const std::vector<std::vector<bool>>& item_labels,
+    const std::vector<std::size_t>& queries, std::size_t k);
+
+}  // namespace ccdb::eval
+
+#endif  // CCDB_EVAL_NEIGHBORS_H_

@@ -1,0 +1,40 @@
+#ifndef CCDB_FACTORIZATION_ALS_TRAINER_H_
+#define CCDB_FACTORIZATION_ALS_TRAINER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "factorization/factor_model.h"
+
+namespace ccdb::factorization {
+
+/// Alternating-least-squares schedule — the second solver family the
+/// paper names for its optimization problem ("solved efficiently using
+/// stochastic gradient descent or alternating least squares methods").
+/// Each sweep solves, in closed form: item biases, user biases, item
+/// factors (one ridge regression per item against the fixed user factors),
+/// then user factors. Deterministic — no learning rate to tune.
+///
+/// ALS requires a bilinear model, so only ModelKind::kSvdDotProduct is
+/// supported (the Euclidean embedding's distance term is not linear in
+/// either side's coordinates; it is trained by SGD).
+struct AlsTrainerConfig {
+  int sweeps = 10;
+  /// Threads for the per-item/per-user solves (0 = hardware concurrency).
+  std::size_t threads = 0;
+};
+
+struct AlsReport {
+  std::vector<double> rmse_per_sweep;
+  int sweeps_run = 0;
+  double final_rmse = 0.0;
+};
+
+/// Runs ALS over `data`, mutating `model` in place. Returns
+/// InvalidArgument for non-SVD models.
+StatusOr<AlsReport> TrainAls(const AlsTrainerConfig& config,
+                             const RatingDataset& data, FactorModel& model);
+
+}  // namespace ccdb::factorization
+
+#endif  // CCDB_FACTORIZATION_ALS_TRAINER_H_

@@ -1,0 +1,51 @@
+#include "factorization/parallel_sgd.h"
+
+#include <numeric>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+
+namespace ccdb::factorization {
+
+TrainingReport TrainSgdParallel(const ParallelSgdConfig& config,
+                                const RatingDataset& data,
+                                FactorModel& model) {
+  CCDB_CHECK_GT(config.base.max_epochs, 0);
+  CCDB_CHECK_MSG(config.base.validation_fraction == 0.0,
+                 "parallel SGD does not support validation early stopping");
+
+  Rng rng(config.base.seed);
+  std::vector<std::size_t> order(data.num_ratings());
+  std::iota(order.begin(), order.end(), 0u);
+
+  ThreadPool pool(config.threads);
+  const std::size_t shards = pool.num_threads();
+  const auto ratings = data.ratings();
+
+  TrainingReport report;
+  double lr = config.base.learning_rate;
+  for (int epoch = 0; epoch < config.base.max_epochs; ++epoch) {
+    rng.Shuffle(order);
+    const std::size_t shard_size = (order.size() + shards - 1) / shards;
+    for (std::size_t shard = 0; shard < shards; ++shard) {
+      const std::size_t lo = shard * shard_size;
+      if (lo >= order.size()) break;
+      const std::size_t hi = std::min(order.size(), lo + shard_size);
+      pool.Submit([&, lo, hi, lr] {
+        for (std::size_t i = lo; i < hi; ++i) {
+          model.SgdStep(ratings[order[i]], lr);
+        }
+      });
+    }
+    pool.Wait();
+    lr *= config.base.lr_decay;
+    ++report.epochs_run;
+    report.train_rmse.push_back(model.EvaluateRmse(data));
+  }
+  report.final_train_rmse =
+      report.train_rmse.empty() ? 0.0 : report.train_rmse.back();
+  return report;
+}
+
+}  // namespace ccdb::factorization

@@ -1,0 +1,34 @@
+#ifndef CCDB_FACTORIZATION_PARALLEL_SGD_H_
+#define CCDB_FACTORIZATION_PARALLEL_SGD_H_
+
+#include "factorization/factor_model.h"
+#include "factorization/sgd_trainer.h"
+
+namespace ccdb::factorization {
+
+/// Lock-free parallel SGD (Hogwild-style): each epoch shuffles the rating
+/// indices and splits them into contiguous shards, one worker thread per
+/// shard, all updating the shared model without synchronization. With the
+/// sparse access pattern of rating data the races are benign and the
+/// result converges to the same quality as sequential SGD — this is the
+/// "parallelization techniques are quite easy to exploit" remark of
+/// Sec. 4.2 (and the DSGD reference [13]) made concrete.
+///
+/// Unlike TrainSgd the result is NOT bit-deterministic across runs with
+/// the same seed (thread interleaving varies); quality is.
+struct ParallelSgdConfig {
+  SgdTrainerConfig base;
+  /// Worker threads (0 = hardware concurrency).
+  std::size_t threads = 0;
+};
+
+/// Runs parallel SGD over all ratings of `data`, mutating `model`.
+/// Validation-based early stopping is not supported in the parallel
+/// trainer (base.validation_fraction must be 0).
+TrainingReport TrainSgdParallel(const ParallelSgdConfig& config,
+                                const RatingDataset& data,
+                                FactorModel& model);
+
+}  // namespace ccdb::factorization
+
+#endif  // CCDB_FACTORIZATION_PARALLEL_SGD_H_

@@ -1,0 +1,56 @@
+#include "factorization/recommender.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace ccdb::factorization {
+
+Recommender::Recommender(const FactorModel* model, const RatingDataset* data)
+    : model_(model), data_(data) {
+  CCDB_CHECK(model_ != nullptr);
+  CCDB_CHECK(data_ != nullptr);
+  CCDB_CHECK_EQ(model_->num_items(), data_->num_items());
+  CCDB_CHECK_EQ(model_->num_users(), data_->num_users());
+}
+
+double Recommender::PredictRating(std::uint32_t item,
+                                  std::uint32_t user) const {
+  return model_->Predict(item, user);
+}
+
+std::vector<Recommendation> Recommender::TopN(std::uint32_t user,
+                                              std::size_t n) const {
+  CCDB_CHECK_LT(user, model_->num_users());
+  std::vector<bool> rated(model_->num_items(), false);
+  for (const RatingEntry& entry : data_->ByUser(user)) {
+    rated[entry.id] = true;
+  }
+
+  // Max-heap-free selection: keep the n best in a sorted buffer (n is
+  // small; items are many).
+  std::vector<Recommendation> best;
+  best.reserve(n + 1);
+  for (std::uint32_t item = 0; item < model_->num_items(); ++item) {
+    if (rated[item]) continue;
+    const double prediction = model_->Predict(item, user);
+    if (best.size() == n && prediction <= best.back().predicted_rating) {
+      continue;
+    }
+    const Recommendation candidate{item, prediction};
+    const auto position = std::lower_bound(
+        best.begin(), best.end(), candidate,
+        [](const Recommendation& a, const Recommendation& b) {
+          return a.predicted_rating > b.predicted_rating;
+        });
+    best.insert(position, candidate);
+    if (best.size() > n) best.pop_back();
+  }
+  return best;
+}
+
+double Recommender::HoldoutRmse(const RatingDataset& holdout) const {
+  return model_->EvaluateRmse(holdout);
+}
+
+}  // namespace ccdb::factorization

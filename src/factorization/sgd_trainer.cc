@@ -1,0 +1,107 @@
+#include "factorization/sgd_trainer.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace ccdb::factorization {
+
+TrainingReport TrainSgd(const SgdTrainerConfig& config,
+                        const RatingDataset& data, FactorModel& model) {
+  CCDB_CHECK_GT(config.max_epochs, 0);
+  CCDB_CHECK_GT(config.learning_rate, 0.0);
+  CCDB_CHECK_GT(config.lr_decay, 0.0);
+  CCDB_CHECK_LE(config.lr_decay, 1.0);
+
+  Rng rng(config.seed);
+  TrainHoldoutSplit split =
+      SplitRatings(data.num_ratings(), config.validation_fraction, rng);
+  const bool has_validation = !split.holdout.empty();
+
+  TrainingReport report;
+  const auto ratings = data.ratings();
+  double lr = config.learning_rate;
+  double best_validation = std::numeric_limits<double>::infinity();
+  int epochs_without_improvement = 0;
+
+  for (int epoch = 0; epoch < config.max_epochs; ++epoch) {
+    rng.Shuffle(split.train);
+    for (std::size_t idx : split.train) {
+      model.SgdStep(ratings[idx], lr);
+    }
+    lr *= config.lr_decay;
+    ++report.epochs_run;
+
+    report.train_rmse.push_back(model.EvaluateRmse(data, split.train));
+    if (has_validation) {
+      const double validation_rmse =
+          model.EvaluateRmse(data, split.holdout);
+      report.validation_rmse.push_back(validation_rmse);
+      if (validation_rmse + 1e-6 < best_validation) {
+        best_validation = validation_rmse;
+        epochs_without_improvement = 0;
+      } else if (++epochs_without_improvement >= config.patience) {
+        report.early_stopped = true;
+        break;
+      }
+    }
+  }
+
+  report.final_train_rmse =
+      report.train_rmse.empty() ? 0.0 : report.train_rmse.back();
+  report.final_validation_rmse =
+      report.validation_rmse.empty() ? 0.0 : report.validation_rmse.back();
+  return report;
+}
+
+std::vector<CrossValidationCell> GridSearch(
+    const RatingDataset& data, ModelKind kind,
+    const std::vector<std::size_t>& dims_grid,
+    const std::vector<double>& lambda_grid, const SgdTrainerConfig& config,
+    double holdout_fraction) {
+  CCDB_CHECK(!dims_grid.empty());
+  CCDB_CHECK(!lambda_grid.empty());
+  CCDB_CHECK_GT(holdout_fraction, 0.0);
+
+  std::vector<CrossValidationCell> cells;
+  cells.reserve(dims_grid.size() * lambda_grid.size());
+  for (std::size_t dims : dims_grid) {
+    for (double lambda : lambda_grid) {
+      FactorModelConfig model_config;
+      model_config.kind = kind;
+      model_config.dims = dims;
+      model_config.lambda = lambda;
+      model_config.seed = config.seed + cells.size() + 1;
+      FactorModel model(model_config, data);
+
+      SgdTrainerConfig trainer_config = config;
+      trainer_config.validation_fraction = holdout_fraction;
+      const TrainingReport report = TrainSgd(trainer_config, data, model);
+
+      CrossValidationCell cell;
+      cell.dims = dims;
+      cell.lambda = lambda;
+      cell.validation_rmse = report.validation_rmse.empty()
+                                 ? report.final_train_rmse
+                                 : *std::min_element(
+                                       report.validation_rmse.begin(),
+                                       report.validation_rmse.end());
+      cells.push_back(cell);
+    }
+  }
+  return cells;
+}
+
+CrossValidationCell BestCell(const std::vector<CrossValidationCell>& cells) {
+  CCDB_CHECK(!cells.empty());
+  return *std::min_element(cells.begin(), cells.end(),
+                           [](const CrossValidationCell& a,
+                              const CrossValidationCell& b) {
+                             return a.validation_rmse < b.validation_rmse;
+                           });
+}
+
+}  // namespace ccdb::factorization

@@ -1,0 +1,67 @@
+#ifndef CCDB_FACTORIZATION_SGD_TRAINER_H_
+#define CCDB_FACTORIZATION_SGD_TRAINER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/sparse.h"
+#include "factorization/factor_model.h"
+
+namespace ccdb::factorization {
+
+/// Stochastic-gradient-descent training schedule. The paper notes the
+/// optimization "can be solved efficiently using stochastic gradient
+/// descent … even on large data sets"; this trainer implements shuffled
+/// per-rating SGD with multiplicative learning-rate decay and optional
+/// early stopping on a validation holdout.
+struct SgdTrainerConfig {
+  int max_epochs = 30;
+  double learning_rate = 0.05;
+  /// learning_rate is multiplied by this factor after every epoch.
+  double lr_decay = 0.97;
+  /// Fraction of ratings held out for validation-based early stopping;
+  /// 0 disables validation (all ratings train, no early stop).
+  double validation_fraction = 0.0;
+  /// Stop after this many consecutive epochs without validation-RMSE
+  /// improvement (only if validation_fraction > 0).
+  int patience = 3;
+  std::uint64_t seed = 7;
+};
+
+/// Per-epoch training telemetry returned by Train().
+struct TrainingReport {
+  std::vector<double> train_rmse;       // one entry per completed epoch
+  std::vector<double> validation_rmse;  // empty when no validation split
+  int epochs_run = 0;
+  bool early_stopped = false;
+  double final_train_rmse = 0.0;
+  double final_validation_rmse = 0.0;
+};
+
+/// Runs SGD over `data`, mutating `model` in place, and returns telemetry.
+TrainingReport TrainSgd(const SgdTrainerConfig& config,
+                        const RatingDataset& data, FactorModel& model);
+
+/// One cell of a cross-validation grid search.
+struct CrossValidationCell {
+  std::size_t dims = 0;
+  double lambda = 0.0;
+  double validation_rmse = 0.0;
+};
+
+/// Holdout grid search over (dims × lambdas): trains a fresh model per
+/// cell and reports holdout RMSE. This is how the paper selects d and λ
+/// ("determined by means of cross-validation on the rating data only").
+/// Cells are returned in grid order; the best cell minimizes RMSE.
+std::vector<CrossValidationCell> GridSearch(
+    const RatingDataset& data, ModelKind kind,
+    const std::vector<std::size_t>& dims_grid,
+    const std::vector<double>& lambda_grid, const SgdTrainerConfig& config,
+    double holdout_fraction = 0.1);
+
+/// Convenience: returns the cell with the lowest validation RMSE.
+CrossValidationCell BestCell(const std::vector<CrossValidationCell>& cells);
+
+}  // namespace ccdb::factorization
+
+#endif  // CCDB_FACTORIZATION_SGD_TRAINER_H_

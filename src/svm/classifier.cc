@@ -1,0 +1,247 @@
+#include "svm/classifier.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "common/check.h"
+
+namespace ccdb::svm {
+namespace {
+
+// Q matrix for C-SVC: Q_ij = y_i y_j K(x_i, x_j). Kernel rows are computed
+// lazily and memoized (problems in this library are small enough that all
+// touched rows fit in memory; SMO touches only a fraction of rows thanks to
+// the violating-pair selection).
+class SvcQMatrix : public QMatrix {
+ public:
+  SvcQMatrix(const Matrix& examples, const std::vector<std::int8_t>& y,
+             const KernelConfig& kernel)
+      : examples_(examples), y_(y), kernel_(kernel),
+        cache_(examples.rows()), diagonal_(examples.rows()) {
+    for (std::size_t i = 0; i < examples_.rows(); ++i) {
+      diagonal_[i] = EvalKernel(kernel_, examples_.Row(i), examples_.Row(i));
+    }
+  }
+
+  std::size_t size() const override { return examples_.rows(); }
+
+  void GetRow(std::size_t i, std::vector<double>& row) const override {
+    const std::vector<double>& cached = RowRef(i);
+    row.assign(cached.begin(), cached.end());
+  }
+
+  double Diagonal(std::size_t i) const override { return diagonal_[i]; }
+
+ private:
+  const std::vector<double>& RowRef(std::size_t i) const {
+    std::unique_ptr<std::vector<double>>& slot = cache_[i];
+    if (slot == nullptr) {
+      slot = std::make_unique<std::vector<double>>(examples_.rows());
+      const auto x_i = examples_.Row(i);
+      const double y_i = static_cast<double>(y_[i]);
+      for (std::size_t j = 0; j < examples_.rows(); ++j) {
+        (*slot)[j] = y_i * static_cast<double>(y_[j]) *
+                     EvalKernel(kernel_, x_i, examples_.Row(j));
+      }
+    }
+    return *slot;
+  }
+
+  const Matrix& examples_;
+  const std::vector<std::int8_t>& y_;
+  KernelConfig kernel_;
+  mutable std::vector<std::unique_ptr<std::vector<double>>> cache_;
+  std::vector<double> diagonal_;
+};
+
+}  // namespace
+
+SvmModel::SvmModel(Matrix support_vectors, std::vector<double> coefficients,
+                   double rho, KernelConfig kernel)
+    : support_vectors_(std::move(support_vectors)),
+      coefficients_(std::move(coefficients)),
+      rho_(rho),
+      kernel_(kernel) {
+  CCDB_CHECK_EQ(support_vectors_.rows(), coefficients_.size());
+}
+
+double SvmModel::DecisionValue(std::span<const double> x) const {
+  CCDB_CHECK(trained());
+  double value = -rho_;
+  for (std::size_t s = 0; s < support_vectors_.rows(); ++s) {
+    value += coefficients_[s] * EvalKernel(kernel_, support_vectors_.Row(s), x);
+  }
+  return value;
+}
+
+bool SvmModel::Predict(std::span<const double> x) const {
+  return DecisionValue(x) >= 0.0;
+}
+
+std::vector<bool> SvmModel::PredictAll(const Matrix& points) const {
+  std::vector<bool> predictions(points.rows());
+  for (std::size_t i = 0; i < points.rows(); ++i) {
+    predictions[i] = Predict(points.Row(i));
+  }
+  return predictions;
+}
+
+std::vector<double> SvmModel::DecisionValues(const Matrix& points) const {
+  std::vector<double> values(points.rows());
+  for (std::size_t i = 0; i < points.rows(); ++i) {
+    values[i] = DecisionValue(points.Row(i));
+  }
+  return values;
+}
+
+namespace {
+
+constexpr char kSvmMagic[8] = {'C', 'C', 'D', 'B', 'S', 'V', 'M', '1'};
+
+struct SvmFileCloser {
+  void operator()(std::FILE* file) const {
+    if (file != nullptr) std::fclose(file);
+  }
+};
+
+}  // namespace
+
+Status SvmModel::SaveToFile(const std::string& path) const {
+  std::unique_ptr<std::FILE, SvmFileCloser> file(
+      std::fopen(path.c_str(), "wb"));
+  if (file == nullptr) {
+    return Status::Internal("cannot open for writing: " + path);
+  }
+  const std::uint64_t num_svs = support_vectors_.rows();
+  const std::uint64_t dims = support_vectors_.cols();
+  const std::int32_t kernel_type = static_cast<std::int32_t>(kernel_.type);
+  const std::int32_t degree = kernel_.degree;
+  bool ok = std::fwrite(kSvmMagic, sizeof(kSvmMagic), 1, file.get()) == 1;
+  ok = ok && std::fwrite(&num_svs, sizeof(num_svs), 1, file.get()) == 1;
+  ok = ok && std::fwrite(&dims, sizeof(dims), 1, file.get()) == 1;
+  ok = ok && std::fwrite(&kernel_type, sizeof(kernel_type), 1,
+                         file.get()) == 1;
+  ok = ok && std::fwrite(&kernel_.gamma, sizeof(double), 1, file.get()) == 1;
+  ok = ok && std::fwrite(&degree, sizeof(degree), 1, file.get()) == 1;
+  ok = ok && std::fwrite(&kernel_.coef0, sizeof(double), 1, file.get()) == 1;
+  ok = ok && std::fwrite(&rho_, sizeof(rho_), 1, file.get()) == 1;
+  const auto data = support_vectors_.Data();
+  ok = ok && (data.empty() ||
+              std::fwrite(data.data(), sizeof(double), data.size(),
+                          file.get()) == data.size());
+  ok = ok && (coefficients_.empty() ||
+              std::fwrite(coefficients_.data(), sizeof(double),
+                          coefficients_.size(),
+                          file.get()) == coefficients_.size());
+  if (!ok) return Status::Internal("short write to " + path);
+  return Status::Ok();
+}
+
+StatusOr<SvmModel> SvmModel::LoadFromFile(const std::string& path) {
+  std::unique_ptr<std::FILE, SvmFileCloser> file(
+      std::fopen(path.c_str(), "rb"));
+  if (file == nullptr) return Status::NotFound("cannot open: " + path);
+  char magic[8];
+  if (std::fread(magic, sizeof(magic), 1, file.get()) != 1 ||
+      std::memcmp(magic, kSvmMagic, sizeof(kSvmMagic)) != 0) {
+    return Status::InvalidArgument("not an SVM model file: " + path);
+  }
+  std::uint64_t num_svs = 0, dims = 0;
+  std::int32_t kernel_type = 0, degree = 0;
+  KernelConfig kernel;
+  double rho = 0.0;
+  if (std::fread(&num_svs, sizeof(num_svs), 1, file.get()) != 1 ||
+      std::fread(&dims, sizeof(dims), 1, file.get()) != 1 ||
+      std::fread(&kernel_type, sizeof(kernel_type), 1, file.get()) != 1 ||
+      std::fread(&kernel.gamma, sizeof(double), 1, file.get()) != 1 ||
+      std::fread(&degree, sizeof(degree), 1, file.get()) != 1 ||
+      std::fread(&kernel.coef0, sizeof(double), 1, file.get()) != 1 ||
+      std::fread(&rho, sizeof(rho), 1, file.get()) != 1) {
+    return Status::InvalidArgument("truncated header in " + path);
+  }
+  if (kernel_type < 0 || kernel_type > 2) {
+    return Status::InvalidArgument("bad kernel type in " + path);
+  }
+  kernel.type = static_cast<KernelType>(kernel_type);
+  kernel.degree = degree;
+  Matrix support_vectors(num_svs, dims);
+  auto data = support_vectors.Data();
+  if (!data.empty() && std::fread(data.data(), sizeof(double), data.size(),
+                                  file.get()) != data.size()) {
+    return Status::InvalidArgument("truncated support vectors in " + path);
+  }
+  std::vector<double> coefficients(num_svs);
+  if (num_svs > 0 && std::fread(coefficients.data(), sizeof(double),
+                                coefficients.size(),
+                                file.get()) != coefficients.size()) {
+    return Status::InvalidArgument("truncated coefficients in " + path);
+  }
+  return SvmModel(std::move(support_vectors), std::move(coefficients), rho,
+                  kernel);
+}
+
+SvmModel TrainClassifier(const Matrix& examples,
+                         const std::vector<std::int8_t>& labels,
+                         const ClassifierOptions& options) {
+  return TrainClassifier(examples, labels, options, nullptr);
+}
+
+SvmModel TrainClassifier(const Matrix& examples,
+                         const std::vector<std::int8_t>& labels,
+                         const ClassifierOptions& options,
+                         TrainDiagnostics* diagnostics) {
+  const std::size_t n = examples.rows();
+  CCDB_CHECK_EQ(labels.size(), n);
+  CCDB_CHECK_GT(n, 0u);
+  CCDB_CHECK_GT(options.cost, 0.0);
+  std::size_t positives = 0;
+  for (std::int8_t label : labels) {
+    CCDB_CHECK_MSG(label == 1 || label == -1, "labels must be +1/-1");
+    if (label == 1) ++positives;
+  }
+  CCDB_CHECK_MSG(positives > 0 && positives < n,
+                 "need at least one example per class");
+
+  const KernelConfig kernel = ResolveKernel(options.kernel, examples.cols());
+  SvcQMatrix q(examples, labels, kernel);
+
+  std::vector<double> p(n, -1.0);
+  std::vector<double> upper_bound(n, options.cost);
+  if (!options.example_cost_scale.empty()) {
+    CCDB_CHECK_EQ(options.example_cost_scale.size(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      upper_bound[i] = options.cost * options.example_cost_scale[i];
+    }
+  }
+  std::vector<double> initial_alpha(n, 0.0);
+  const SmoResult result =
+      SolveSmo(q, p, labels, upper_bound, initial_alpha, options.smo);
+
+  // Keep only support vectors (α > 0) in the model.
+  std::vector<std::size_t> sv_indices;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (result.alpha[i] > 1e-12) sv_indices.push_back(i);
+  }
+  Matrix support_vectors(sv_indices.size(), examples.cols());
+  std::vector<double> coefficients(sv_indices.size());
+  for (std::size_t s = 0; s < sv_indices.size(); ++s) {
+    const std::size_t i = sv_indices[s];
+    auto dst = support_vectors.Row(s);
+    const auto src = examples.Row(i);
+    for (std::size_t c = 0; c < src.size(); ++c) dst[c] = src[c];
+    coefficients[s] = result.alpha[i] * static_cast<double>(labels[i]);
+  }
+
+  if (diagnostics != nullptr) {
+    diagnostics->iterations = result.iterations;
+    diagnostics->converged = result.converged;
+    diagnostics->alpha = result.alpha;
+    diagnostics->rho = result.rho;
+  }
+  return SvmModel(std::move(support_vectors), std::move(coefficients),
+                  result.rho, kernel);
+}
+
+}  // namespace ccdb::svm

@@ -1,0 +1,90 @@
+#ifndef CCDB_SVM_CLASSIFIER_H_
+#define CCDB_SVM_CLASSIFIER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/status.h"
+#include "svm/kernel.h"
+#include "svm/smo_solver.h"
+
+namespace ccdb::svm {
+
+/// Training options for the C-SVC classifier.
+struct ClassifierOptions {
+  KernelConfig kernel;
+  /// Soft-margin cost C.
+  double cost = 1.0;
+  /// Optional per-example multipliers on C (empty = all 1). Used by the
+  /// transductive SVM to weight unlabeled examples differently.
+  std::vector<double> example_cost_scale;
+  SmoConfig smo;
+};
+
+/// A trained soft-margin kernel SVM: f(x) = Σ coef_s K(sv_s, x) − rho,
+/// classify by sign. Value type: copyable, cheap to move.
+class SvmModel {
+ public:
+  SvmModel() = default;
+  SvmModel(Matrix support_vectors, std::vector<double> coefficients,
+           double rho, KernelConfig kernel);
+
+  /// Signed decision value f(x); positive means the positive class.
+  double DecisionValue(std::span<const double> x) const;
+
+  /// Class prediction: DecisionValue(x) >= 0.
+  bool Predict(std::span<const double> x) const;
+
+  /// Predicts every row of `points`.
+  std::vector<bool> PredictAll(const Matrix& points) const;
+
+  /// Decision values for every row of `points`.
+  std::vector<double> DecisionValues(const Matrix& points) const;
+
+  std::size_t num_support_vectors() const { return support_vectors_.rows(); }
+  double rho() const { return rho_; }
+  const KernelConfig& kernel() const { return kernel_; }
+  bool trained() const { return support_vectors_.rows() > 0; }
+
+  /// Serializes the trained model (kernel config, rho, support vectors,
+  /// coefficients) to a binary file — a trained extractor can be shipped
+  /// and applied without retraining.
+  Status SaveToFile(const std::string& path) const;
+
+  /// Loads a model written by SaveToFile.
+  static StatusOr<SvmModel> LoadFromFile(const std::string& path);
+
+ private:
+  Matrix support_vectors_;
+  std::vector<double> coefficients_;  // α_s · y_s for each support vector
+  double rho_ = 0.0;
+  KernelConfig kernel_;
+};
+
+/// Trains a binary C-SVC on rows of `examples` with labels in {+1, −1}.
+/// Requires at least one example of each class. This is the classifier the
+/// schema-expansion extractor uses for Boolean attributes (paper Sec. 4.2:
+/// "Instead of relying on non-linear regression, we can use an SVM
+/// classifier … with a Radial Basis Function kernel").
+SvmModel TrainClassifier(const Matrix& examples,
+                         const std::vector<std::int8_t>& labels,
+                         const ClassifierOptions& options);
+
+/// Diagnostic information from the last SMO run (optional out-param
+/// variant for tests and the TSVM loop).
+struct TrainDiagnostics {
+  std::size_t iterations = 0;
+  bool converged = false;
+  std::vector<double> alpha;  // dual variables, one per training example
+  double rho = 0.0;
+};
+SvmModel TrainClassifier(const Matrix& examples,
+                         const std::vector<std::int8_t>& labels,
+                         const ClassifierOptions& options,
+                         TrainDiagnostics* diagnostics);
+
+}  // namespace ccdb::svm
+
+#endif  // CCDB_SVM_CLASSIFIER_H_

@@ -1,0 +1,33 @@
+#include "svm/kernel.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/vec.h"
+
+namespace ccdb::svm {
+
+double EvalKernel(const KernelConfig& config, std::span<const double> x,
+                  std::span<const double> z) {
+  switch (config.type) {
+    case KernelType::kLinear:
+      return Dot(x, z);
+    case KernelType::kRbf:
+      return std::exp(-config.gamma * SquaredDistance(x, z));
+    case KernelType::kPolynomial:
+      return std::pow(config.gamma * Dot(x, z) + config.coef0, config.degree);
+  }
+  CCDB_CHECK_MSG(false, "unknown kernel type");
+  return 0.0;
+}
+
+KernelConfig ResolveKernel(const KernelConfig& config, std::size_t dims) {
+  KernelConfig resolved = config;
+  if (resolved.gamma <= 0.0) {
+    CCDB_CHECK_GT(dims, 0u);
+    resolved.gamma = 1.0 / static_cast<double>(dims);
+  }
+  return resolved;
+}
+
+}  // namespace ccdb::svm

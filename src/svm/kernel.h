@@ -1,0 +1,34 @@
+#ifndef CCDB_SVM_KERNEL_H_
+#define CCDB_SVM_KERNEL_H_
+
+#include <span>
+
+namespace ccdb::svm {
+
+/// Kernel families supported by the SVM machinery. The paper uses a
+/// non-linear RBF kernel for genre extraction (Sec. 4.2).
+enum class KernelType {
+  kLinear,      // K(x, z) = x·z
+  kRbf,         // K(x, z) = exp(−γ‖x−z‖²)
+  kPolynomial,  // K(x, z) = (γ x·z + coef0)^degree
+};
+
+/// Kernel configuration. `gamma <= 0` means "auto": 1 / dims, resolved at
+/// training time.
+struct KernelConfig {
+  KernelType type = KernelType::kRbf;
+  double gamma = 0.0;
+  int degree = 3;
+  double coef0 = 0.0;
+};
+
+/// Evaluates K(x, z) for equal-length vectors.
+double EvalKernel(const KernelConfig& config, std::span<const double> x,
+                  std::span<const double> z);
+
+/// Returns a copy of `config` with gamma resolved to 1/dims if it was auto.
+KernelConfig ResolveKernel(const KernelConfig& config, std::size_t dims);
+
+}  // namespace ccdb::svm
+
+#endif  // CCDB_SVM_KERNEL_H_

@@ -1,0 +1,111 @@
+#include "svm/platt.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace ccdb::svm {
+
+bool PlattScaler::Fit(const std::vector<double>& decision_values,
+                      const std::vector<std::int8_t>& labels) {
+  CCDB_CHECK_EQ(decision_values.size(), labels.size());
+  fitted_ = false;
+  const std::size_t n = decision_values.size();
+  std::size_t num_positive = 0;
+  for (std::int8_t label : labels) num_positive += label > 0 ? 1 : 0;
+  const std::size_t num_negative = n - num_positive;
+  if (num_positive == 0 || num_negative == 0) return false;
+
+  // Target probabilities with Platt's smoothing.
+  const double high = (static_cast<double>(num_positive) + 1.0) /
+                      (static_cast<double>(num_positive) + 2.0);
+  const double low = 1.0 / (static_cast<double>(num_negative) + 2.0);
+  std::vector<double> targets(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    targets[i] = labels[i] > 0 ? high : low;
+  }
+
+  // Newton's method with backtracking on the cross-entropy objective
+  // (Lin, Weng & Keerthi 2007).
+  double a = 0.0;
+  double b = std::log((static_cast<double>(num_negative) + 1.0) /
+                      (static_cast<double>(num_positive) + 1.0));
+  const double sigma = 1e-12;  // Hessian ridge
+  const int max_iterations = 100;
+  const double epsilon = 1e-5;
+
+  auto objective = [&](double aa, double bb) {
+    double value = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double fApB = decision_values[i] * aa + bb;
+      if (fApB >= 0.0) {
+        value += targets[i] * fApB + std::log1p(std::exp(-fApB));
+      } else {
+        value += (targets[i] - 1.0) * fApB + std::log1p(std::exp(fApB));
+      }
+    }
+    return value;
+  };
+
+  double current = objective(a, b);
+  for (int iteration = 0; iteration < max_iterations; ++iteration) {
+    // Gradient and Hessian.
+    double h11 = sigma, h22 = sigma, h21 = 0.0, g1 = 0.0, g2 = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double fApB = decision_values[i] * a + b;
+      double p, q;
+      if (fApB >= 0.0) {
+        p = std::exp(-fApB) / (1.0 + std::exp(-fApB));
+        q = 1.0 / (1.0 + std::exp(-fApB));
+      } else {
+        p = 1.0 / (1.0 + std::exp(fApB));
+        q = std::exp(fApB) / (1.0 + std::exp(fApB));
+      }
+      const double d2 = p * q;
+      h11 += decision_values[i] * decision_values[i] * d2;
+      h22 += d2;
+      h21 += decision_values[i] * d2;
+      const double d1 = targets[i] - p;
+      g1 += decision_values[i] * d1;
+      g2 += d1;
+    }
+    if (std::abs(g1) < epsilon && std::abs(g2) < epsilon) break;
+
+    const double det = h11 * h22 - h21 * h21;
+    const double da = -(h22 * g1 - h21 * g2) / det;
+    const double db = -(-h21 * g1 + h11 * g2) / det;
+    const double gd = g1 * da + g2 * db;
+
+    double step = 1.0;
+    bool stepped = false;
+    while (step >= 1e-10) {
+      const double candidate = objective(a + step * da, b + step * db);
+      if (candidate < current + 1e-4 * step * gd) {
+        a += step * da;
+        b += step * db;
+        current = candidate;
+        stepped = true;
+        break;
+      }
+      step /= 2.0;
+    }
+    if (!stepped) break;  // line search failed; accept current estimate
+  }
+
+  a_ = a;
+  b_ = b;
+  fitted_ = true;
+  return true;
+}
+
+double PlattScaler::Probability(double decision_value) const {
+  CCDB_CHECK(fitted_);
+  const double fApB = decision_value * a_ + b_;
+  if (fApB >= 0.0) {
+    return std::exp(-fApB) / (1.0 + std::exp(-fApB));
+  }
+  return 1.0 / (1.0 + std::exp(fApB));
+}
+
+}  // namespace ccdb::svm

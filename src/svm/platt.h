@@ -1,0 +1,38 @@
+#ifndef CCDB_SVM_PLATT_H_
+#define CCDB_SVM_PLATT_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace ccdb::svm {
+
+/// Platt scaling: fits a sigmoid P(y=+1 | f) = 1 / (1 + exp(A·f + B)) to
+/// a classifier's decision values, turning margins into calibrated
+/// probabilities (Platt 1999, with the Lin–Weng–Keerthi numerically
+/// stable Newton iteration used by LIBSVM). The extractor uses it to
+/// attach confidences to expanded attribute values, which in turn drive
+/// the hybrid verify-the-uncertain strategy.
+class PlattScaler {
+ public:
+  /// Fits A and B from decision values and the true ±1 labels. Returns
+  /// false (scaler unusable) when a class is missing or the iteration
+  /// fails to make progress.
+  bool Fit(const std::vector<double>& decision_values,
+           const std::vector<std::int8_t>& labels);
+
+  /// P(y = +1 | decision_value). Requires a successful Fit.
+  double Probability(double decision_value) const;
+
+  bool fitted() const { return fitted_; }
+  double a() const { return a_; }
+  double b() const { return b_; }
+
+ private:
+  double a_ = 0.0;
+  double b_ = 0.0;
+  bool fitted_ = false;
+};
+
+}  // namespace ccdb::svm
+
+#endif  // CCDB_SVM_PLATT_H_

@@ -1,0 +1,181 @@
+#include "svm/smo_solver.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace ccdb::svm {
+namespace {
+
+constexpr double kTau = 1e-12;
+
+}  // namespace
+
+SmoResult SolveSmo(const QMatrix& q, const std::vector<double>& p,
+                   const std::vector<std::int8_t>& y,
+                   const std::vector<double>& upper_bound,
+                   const std::vector<double>& initial_alpha,
+                   const SmoConfig& config) {
+  const std::size_t n = q.size();
+  CCDB_CHECK_EQ(p.size(), n);
+  CCDB_CHECK_EQ(y.size(), n);
+  CCDB_CHECK_EQ(upper_bound.size(), n);
+  CCDB_CHECK_EQ(initial_alpha.size(), n);
+
+  SmoResult result;
+  result.alpha = initial_alpha;
+  std::vector<double>& alpha = result.alpha;
+
+  // Gradient G = Qα + p.
+  std::vector<double> gradient = p;
+  std::vector<double> row_i(n), row_j(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    if (alpha[t] != 0.0) {
+      q.GetRow(t, row_i);
+      for (std::size_t s = 0; s < n; ++s) gradient[s] += alpha[t] * row_i[s];
+    }
+  }
+
+  auto in_i_up = [&](std::size_t t) {
+    return (y[t] > 0 && alpha[t] < upper_bound[t]) ||
+           (y[t] < 0 && alpha[t] > 0.0);
+  };
+  auto in_i_low = [&](std::size_t t) {
+    return (y[t] > 0 && alpha[t] > 0.0) ||
+           (y[t] < 0 && alpha[t] < upper_bound[t]);
+  };
+
+  for (result.iterations = 0; result.iterations < config.max_iterations;
+       ++result.iterations) {
+    // First-order maximal violating pair.
+    double max_up = -std::numeric_limits<double>::infinity();
+    double min_low = std::numeric_limits<double>::infinity();
+    std::size_t i = n, j = n;
+    for (std::size_t t = 0; t < n; ++t) {
+      const double score = -static_cast<double>(y[t]) * gradient[t];
+      if (in_i_up(t) && score > max_up) {
+        max_up = score;
+        i = t;
+      }
+      if (in_i_low(t) && score < min_low) {
+        min_low = score;
+        j = t;
+      }
+    }
+    if (i >= n || j >= n || max_up - min_low < config.tolerance) {
+      result.converged = true;
+      break;
+    }
+
+    q.GetRow(i, row_i);
+    q.GetRow(j, row_j);
+    const double c_i = upper_bound[i];
+    const double c_j = upper_bound[j];
+    const double old_alpha_i = alpha[i];
+    const double old_alpha_j = alpha[j];
+
+    // Analytic two-variable subproblem (LIBSVM update equations).
+    if (y[i] != y[j]) {
+      double quad_coef = q.Diagonal(i) + q.Diagonal(j) + 2.0 * row_i[j];
+      if (quad_coef <= 0.0) quad_coef = kTau;
+      const double delta = (-gradient[i] - gradient[j]) / quad_coef;
+      const double diff = alpha[i] - alpha[j];
+      alpha[i] += delta;
+      alpha[j] += delta;
+      if (diff > 0.0) {
+        if (alpha[j] < 0.0) {
+          alpha[j] = 0.0;
+          alpha[i] = diff;
+        }
+      } else {
+        if (alpha[i] < 0.0) {
+          alpha[i] = 0.0;
+          alpha[j] = -diff;
+        }
+      }
+      if (diff > c_i - c_j) {
+        if (alpha[i] > c_i) {
+          alpha[i] = c_i;
+          alpha[j] = c_i - diff;
+        }
+      } else {
+        if (alpha[j] > c_j) {
+          alpha[j] = c_j;
+          alpha[i] = c_j + diff;
+        }
+      }
+    } else {
+      double quad_coef = q.Diagonal(i) + q.Diagonal(j) - 2.0 * row_i[j];
+      if (quad_coef <= 0.0) quad_coef = kTau;
+      const double delta = (gradient[i] - gradient[j]) / quad_coef;
+      const double sum = alpha[i] + alpha[j];
+      alpha[i] -= delta;
+      alpha[j] += delta;
+      if (sum > c_i) {
+        if (alpha[i] > c_i) {
+          alpha[i] = c_i;
+          alpha[j] = sum - c_i;
+        }
+      } else {
+        if (alpha[j] < 0.0) {
+          alpha[j] = 0.0;
+          alpha[i] = sum;
+        }
+      }
+      if (sum > c_j) {
+        if (alpha[j] > c_j) {
+          alpha[j] = c_j;
+          alpha[i] = sum - c_j;
+        }
+      } else {
+        if (alpha[i] < 0.0) {
+          alpha[i] = 0.0;
+          alpha[j] = sum;
+        }
+      }
+    }
+
+    const double delta_i = alpha[i] - old_alpha_i;
+    const double delta_j = alpha[j] - old_alpha_j;
+    if (delta_i == 0.0 && delta_j == 0.0) {
+      // Numerically stuck pair; treat as converged to avoid spinning.
+      result.converged = true;
+      break;
+    }
+    for (std::size_t t = 0; t < n; ++t) {
+      gradient[t] += delta_i * row_i[t] + delta_j * row_j[t];
+    }
+  }
+
+  // rho so that the KKT conditions hold for free variables.
+  double free_sum = 0.0;
+  std::size_t free_count = 0;
+  double upper = std::numeric_limits<double>::infinity();
+  double lower = -std::numeric_limits<double>::infinity();
+  for (std::size_t t = 0; t < n; ++t) {
+    const double y_grad = static_cast<double>(y[t]) * gradient[t];
+    if (alpha[t] >= upper_bound[t]) {
+      if (y[t] < 0) {
+        upper = std::min(upper, y_grad);
+      } else {
+        lower = std::max(lower, y_grad);
+      }
+    } else if (alpha[t] <= 0.0) {
+      if (y[t] > 0) {
+        upper = std::min(upper, y_grad);
+      } else {
+        lower = std::max(lower, y_grad);
+      }
+    } else {
+      free_sum += y_grad;
+      ++free_count;
+    }
+  }
+  result.rho = free_count > 0 ? free_sum / static_cast<double>(free_count)
+                              : (upper + lower) / 2.0;
+  return result;
+}
+
+}  // namespace ccdb::svm

@@ -1,0 +1,56 @@
+#ifndef CCDB_SVM_SMO_SOLVER_H_
+#define CCDB_SVM_SMO_SOLVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace ccdb::svm {
+
+/// Abstract view of the (signed) quadratic term Q of the SMO dual problem:
+/// Q_ij = y_i y_j K(x_i, x_j). Implementations cache kernel rows; the
+/// solver only ever asks for full rows.
+class QMatrix {
+ public:
+  virtual ~QMatrix() = default;
+
+  /// Number of dual variables.
+  virtual std::size_t size() const = 0;
+
+  /// Writes row i of Q into `row` (length size()).
+  virtual void GetRow(std::size_t i, std::vector<double>& row) const = 0;
+
+  /// Diagonal entry Q_ii (cheap; used by the pair update).
+  virtual double Diagonal(std::size_t i) const = 0;
+};
+
+/// Generalized SMO solver for problems of the form
+///   min_α  ½ αᵀQα + pᵀα
+///   s.t.   yᵀα = Δ,  0 ≤ α_i ≤ C_i,
+/// with y_i ∈ {+1, −1} (LIBSVM's formulation). C-SVC uses p = −1, SVR maps
+/// onto 2n variables. Working-set selection is the first-order maximal
+/// violating pair; no shrinking (problem sizes in this library are small).
+struct SmoResult {
+  std::vector<double> alpha;
+  /// Offset; decision functions subtract rho.
+  double rho = 0.0;
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+struct SmoConfig {
+  double tolerance = 1e-3;
+  std::size_t max_iterations = 200000;
+};
+
+/// Solves the dual. `initial_alpha` must be feasible; `p`, `y`, and
+/// `upper_bound` (per-variable C) must all have Q.size() entries.
+SmoResult SolveSmo(const QMatrix& q, const std::vector<double>& p,
+                   const std::vector<std::int8_t>& y,
+                   const std::vector<double>& upper_bound,
+                   const std::vector<double>& initial_alpha,
+                   const SmoConfig& config);
+
+}  // namespace ccdb::svm
+
+#endif  // CCDB_SVM_SMO_SOLVER_H_

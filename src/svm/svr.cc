@@ -1,0 +1,132 @@
+#include "svm/svr.h"
+
+#include <cmath>
+#include <memory>
+
+#include "common/check.h"
+
+namespace ccdb::svm {
+namespace {
+
+// Q matrix for the 2n-variable ε-SVR dual: with λ = (α, α*) and block
+// signs ŷ = (+1…, −1…), Q_st = ŷ_s ŷ_t K(s mod n, t mod n).
+class SvrQMatrix : public QMatrix {
+ public:
+  SvrQMatrix(const Matrix& examples, const KernelConfig& kernel)
+      : examples_(examples), kernel_(kernel),
+        cache_(examples.rows()), diagonal_(examples.rows()) {
+    for (std::size_t i = 0; i < examples_.rows(); ++i) {
+      diagonal_[i] = EvalKernel(kernel_, examples_.Row(i), examples_.Row(i));
+    }
+  }
+
+  std::size_t size() const override { return 2 * examples_.rows(); }
+
+  void GetRow(std::size_t s, std::vector<double>& row) const override {
+    const std::size_t n = examples_.rows();
+    const std::size_t base = s % n;
+    const double sign_s = s < n ? 1.0 : -1.0;
+    const std::vector<double>& kernel_row = KernelRow(base);
+    row.resize(2 * n);
+    for (std::size_t t = 0; t < n; ++t) {
+      row[t] = sign_s * kernel_row[t];
+      row[t + n] = -sign_s * kernel_row[t];
+    }
+  }
+
+  double Diagonal(std::size_t s) const override {
+    return diagonal_[s % examples_.rows()];
+  }
+
+ private:
+  const std::vector<double>& KernelRow(std::size_t i) const {
+    std::unique_ptr<std::vector<double>>& slot = cache_[i];
+    if (slot == nullptr) {
+      slot = std::make_unique<std::vector<double>>(examples_.rows());
+      const auto x_i = examples_.Row(i);
+      for (std::size_t j = 0; j < examples_.rows(); ++j) {
+        (*slot)[j] = EvalKernel(kernel_, x_i, examples_.Row(j));
+      }
+    }
+    return *slot;
+  }
+
+  const Matrix& examples_;
+  KernelConfig kernel_;
+  mutable std::vector<std::unique_ptr<std::vector<double>>> cache_;
+  std::vector<double> diagonal_;
+};
+
+}  // namespace
+
+SvrModel::SvrModel(Matrix support_vectors, std::vector<double> coefficients,
+                   double rho, KernelConfig kernel)
+    : support_vectors_(std::move(support_vectors)),
+      coefficients_(std::move(coefficients)),
+      rho_(rho),
+      kernel_(kernel) {
+  CCDB_CHECK_EQ(support_vectors_.rows(), coefficients_.size());
+}
+
+double SvrModel::Predict(std::span<const double> x) const {
+  CCDB_CHECK(trained());
+  double value = -rho_;
+  for (std::size_t s = 0; s < support_vectors_.rows(); ++s) {
+    value += coefficients_[s] * EvalKernel(kernel_, support_vectors_.Row(s), x);
+  }
+  return value;
+}
+
+std::vector<double> SvrModel::PredictAll(const Matrix& points) const {
+  std::vector<double> values(points.rows());
+  for (std::size_t i = 0; i < points.rows(); ++i) {
+    values[i] = Predict(points.Row(i));
+  }
+  return values;
+}
+
+SvrModel TrainSvr(const Matrix& examples, const std::vector<double>& targets,
+                  const SvrOptions& options) {
+  const std::size_t n = examples.rows();
+  CCDB_CHECK_EQ(targets.size(), n);
+  CCDB_CHECK_GT(n, 0u);
+  CCDB_CHECK_GT(options.cost, 0.0);
+  CCDB_CHECK_GE(options.epsilon, 0.0);
+
+  const KernelConfig kernel = ResolveKernel(options.kernel, examples.cols());
+  SvrQMatrix q(examples, kernel);
+
+  std::vector<double> p(2 * n);
+  std::vector<std::int8_t> y(2 * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    p[i] = options.epsilon - targets[i];
+    p[i + n] = options.epsilon + targets[i];
+    y[i] = 1;
+    y[i + n] = -1;
+  }
+  std::vector<double> upper_bound(2 * n, options.cost);
+  std::vector<double> initial_alpha(2 * n, 0.0);
+  const SmoResult result =
+      SolveSmo(q, p, y, upper_bound, initial_alpha, options.smo);
+
+  // β_i = α_i − α*_i; keep nonzero βs as support vectors.
+  std::vector<std::size_t> sv_indices;
+  std::vector<double> betas;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double beta = result.alpha[i] - result.alpha[i + n];
+    if (std::abs(beta) > 1e-12) {
+      sv_indices.push_back(i);
+      betas.push_back(beta);
+    }
+  }
+  Matrix support_vectors(sv_indices.size(), examples.cols());
+  for (std::size_t s = 0; s < sv_indices.size(); ++s) {
+    auto dst = support_vectors.Row(s);
+    const auto src = examples.Row(sv_indices[s]);
+    for (std::size_t c = 0; c < src.size(); ++c) dst[c] = src[c];
+  }
+  return SvrModel(std::move(support_vectors), std::move(betas), result.rho,
+                  kernel);
+}
+
+}  // namespace ccdb::svm

@@ -1,0 +1,548 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "common/cholesky.h"
+#include "common/csv.h"
+#include "common/eigen_sym.h"
+#include "common/matrix.h"
+#include "common/rng.h"
+#include "common/sparse.h"
+#include "common/status.h"
+#include "common/table_printer.h"
+#include "common/thread_pool.h"
+#include "common/vec.h"
+
+namespace ccdb {
+namespace {
+
+// ---------------------------------------------------------------- Rng
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int differences = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (a.NextUint64() != b.NextUint64()) ++differences;
+  }
+  EXPECT_GT(differences, 12);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, UniformIntRangeAndCoverage) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng.UniformInt(7);
+    ASSERT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, GaussianMomentsMatch) {
+  Rng rng(11);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.Gaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(14);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+  EXPECT_FALSE(rng.Bernoulli(-0.5));
+  EXPECT_TRUE(rng.Bernoulli(1.5));
+}
+
+TEST(RngTest, CategoricalRespectsWeights) {
+  Rng rng(15);
+  std::vector<double> weights = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 20000; ++i) ++counts[rng.Categorical(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(counts[2] / 20000.0, 0.75, 0.02);
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinct) {
+  Rng rng(17);
+  const auto sample = rng.SampleWithoutReplacement(100, 30);
+  EXPECT_EQ(sample.size(), 30u);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (std::size_t index : sample) EXPECT_LT(index, 100u);
+}
+
+TEST(RngTest, SampleWithoutReplacementFullRange) {
+  Rng rng(18);
+  const auto sample = rng.SampleWithoutReplacement(10, 10);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(19);
+  std::vector<int> values = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto shuffled = values;
+  rng.Shuffle(shuffled);
+  std::multiset<int> a(values.begin(), values.end());
+  std::multiset<int> b(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng a(21);
+  Rng child = a.Split();
+  EXPECT_NE(a.NextUint64(), child.NextUint64());
+}
+
+// ---------------------------------------------------------------- vec
+
+TEST(VecTest, DotAndNorms) {
+  std::vector<double> x = {1.0, 2.0, 3.0};
+  std::vector<double> y = {4.0, -5.0, 6.0};
+  EXPECT_DOUBLE_EQ(Dot(x, y), 4.0 - 10.0 + 18.0);
+  EXPECT_DOUBLE_EQ(SquaredNorm(x), 14.0);
+  EXPECT_DOUBLE_EQ(Norm(x), std::sqrt(14.0));
+}
+
+TEST(VecTest, Distances) {
+  std::vector<double> x = {0.0, 0.0};
+  std::vector<double> y = {3.0, 4.0};
+  EXPECT_DOUBLE_EQ(SquaredDistance(x, y), 25.0);
+  EXPECT_DOUBLE_EQ(Distance(x, y), 5.0);
+}
+
+TEST(VecTest, AxpyAndScale) {
+  std::vector<double> x = {1.0, 2.0};
+  std::vector<double> y = {10.0, 20.0};
+  Axpy(2.0, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 12.0);
+  EXPECT_DOUBLE_EQ(y[1], 24.0);
+  Scale(0.5, y);
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+}
+
+TEST(VecTest, MeanVariance) {
+  std::vector<double> x = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(Mean(x), 5.0);
+  EXPECT_DOUBLE_EQ(Variance(x), 4.0);
+}
+
+TEST(VecTest, PearsonPerfectCorrelation) {
+  std::vector<double> x = {1.0, 2.0, 3.0, 4.0};
+  std::vector<double> y = {2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(PearsonCorrelation(x, y), 1.0, 1e-12);
+  std::vector<double> z = {-1.0, -2.0, -3.0, -4.0};
+  EXPECT_NEAR(PearsonCorrelation(x, z), -1.0, 1e-12);
+}
+
+TEST(VecTest, PearsonZeroVarianceIsZero) {
+  std::vector<double> x = {1.0, 1.0, 1.0};
+  std::vector<double> y = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(x, y), 0.0);
+}
+
+TEST(VecTest, NormalizeInPlace) {
+  std::vector<double> x = {3.0, 4.0};
+  NormalizeInPlace(x);
+  EXPECT_NEAR(Norm(x), 1.0, 1e-12);
+  std::vector<double> zero = {0.0, 0.0};
+  NormalizeInPlace(zero);  // must not produce NaN
+  EXPECT_DOUBLE_EQ(zero[0], 0.0);
+}
+
+// ---------------------------------------------------------------- Matrix
+
+TEST(MatrixTest, BasicAccess) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  m.At(1, 2) = 5.0;
+  EXPECT_DOUBLE_EQ(m.At(1, 2), 5.0);
+  EXPECT_DOUBLE_EQ(m(1, 2), 5.0);
+  EXPECT_DOUBLE_EQ(m.Row(1)[2], 5.0);
+}
+
+TEST(MatrixTest, Multiply) {
+  Matrix a(2, 3);
+  Matrix b(3, 2);
+  // a = [1 2 3; 4 5 6], b = [7 8; 9 10; 11 12]
+  double av[] = {1, 2, 3, 4, 5, 6};
+  double bv[] = {7, 8, 9, 10, 11, 12};
+  for (std::size_t i = 0; i < 6; ++i) {
+    a.Data()[i] = av[i];
+    b.Data()[i] = bv[i];
+  }
+  const Matrix c = a.Multiply(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 154.0);
+}
+
+TEST(MatrixTest, TransposeMultiplyMatchesExplicitTranspose) {
+  Rng rng(23);
+  Matrix a(4, 3);
+  Matrix b(4, 5);
+  a.FillGaussian(rng, 0.0, 1.0);
+  b.FillGaussian(rng, 0.0, 1.0);
+  const Matrix direct = a.TransposeMultiply(b);
+  const Matrix via_transpose = a.Transposed().Multiply(b);
+  ASSERT_EQ(direct.rows(), via_transpose.rows());
+  ASSERT_EQ(direct.cols(), via_transpose.cols());
+  for (std::size_t i = 0; i < direct.rows(); ++i)
+    for (std::size_t j = 0; j < direct.cols(); ++j)
+      EXPECT_NEAR(direct(i, j), via_transpose(i, j), 1e-12);
+}
+
+TEST(MatrixTest, OrthonormalizeColumns) {
+  Rng rng(29);
+  Matrix m(10, 4);
+  m.FillGaussian(rng, 0.0, 1.0);
+  OrthonormalizeColumns(m);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      double dot = 0.0;
+      for (std::size_t r = 0; r < 10; ++r) dot += m(r, i) * m(r, j);
+      EXPECT_NEAR(dot, i == j ? 1.0 : 0.0, 1e-10);
+    }
+  }
+}
+
+TEST(MatrixTest, FrobeniusNorm) {
+  Matrix m(2, 2);
+  m(0, 0) = 3.0;
+  m(1, 1) = 4.0;
+  EXPECT_DOUBLE_EQ(m.FrobeniusNorm(), 5.0);
+}
+
+// ---------------------------------------------------------------- Jacobi
+
+TEST(JacobiEigenTest, DiagonalMatrix) {
+  Matrix a(3, 3);
+  a(0, 0) = 1.0;
+  a(1, 1) = 3.0;
+  a(2, 2) = 2.0;
+  const SymmetricEigen eigen = JacobiEigenSymmetric(a);
+  EXPECT_NEAR(eigen.eigenvalues[0], 3.0, 1e-10);
+  EXPECT_NEAR(eigen.eigenvalues[1], 2.0, 1e-10);
+  EXPECT_NEAR(eigen.eigenvalues[2], 1.0, 1e-10);
+}
+
+TEST(JacobiEigenTest, Known2x2) {
+  Matrix a(2, 2);
+  a(0, 0) = 2.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;
+  a(1, 1) = 2.0;
+  const SymmetricEigen eigen = JacobiEigenSymmetric(a);
+  EXPECT_NEAR(eigen.eigenvalues[0], 3.0, 1e-10);
+  EXPECT_NEAR(eigen.eigenvalues[1], 1.0, 1e-10);
+}
+
+TEST(JacobiEigenTest, ReconstructsMatrix) {
+  Rng rng(31);
+  Matrix g(6, 6);
+  g.FillGaussian(rng, 0.0, 1.0);
+  const Matrix a = g.TransposeMultiply(g);  // symmetric PSD
+  const SymmetricEigen eigen = JacobiEigenSymmetric(a);
+  // Reconstruct A = V diag(λ) Vᵀ.
+  for (std::size_t i = 0; i < 6; ++i) {
+    for (std::size_t j = 0; j < 6; ++j) {
+      double value = 0.0;
+      for (std::size_t k = 0; k < 6; ++k) {
+        value += eigen.eigenvectors(i, k) * eigen.eigenvalues[k] *
+                 eigen.eigenvectors(j, k);
+      }
+      EXPECT_NEAR(value, a(i, j), 1e-8);
+    }
+  }
+  // Eigenvalues of a PSD matrix are nonnegative and sorted.
+  for (std::size_t k = 0; k + 1 < 6; ++k) {
+    EXPECT_GE(eigen.eigenvalues[k], eigen.eigenvalues[k + 1] - 1e-12);
+    EXPECT_GE(eigen.eigenvalues[k], -1e-9);
+  }
+}
+
+// ---------------------------------------------------------------- cholesky
+
+TEST(CholeskyTest, SolvesKnownSystem) {
+  Matrix a(2, 2);
+  a(0, 0) = 4.0; a(0, 1) = 2.0;
+  a(1, 0) = 2.0; a(1, 1) = 3.0;
+  std::vector<double> x;
+  ASSERT_TRUE(SolveSpd(a, {8.0, 7.0}, x));
+  // 4x + 2y = 8, 2x + 3y = 7 → x = 1.25, y = 1.5.
+  EXPECT_NEAR(x[0], 1.25, 1e-12);
+  EXPECT_NEAR(x[1], 1.5, 1e-12);
+}
+
+TEST(CholeskyTest, RandomSpdRoundTrip) {
+  Rng rng(47);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 2 + rng.UniformInt(8);
+    Matrix g(n + 2, n);
+    g.FillGaussian(rng, 0.0, 1.0);
+    Matrix a = g.TransposeMultiply(g);  // SPD with probability 1
+    for (std::size_t i = 0; i < n; ++i) a(i, i) += 0.1;
+    std::vector<double> truth(n), b(n, 0.0);
+    for (auto& v : truth) v = rng.Gaussian();
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j) b[i] += a(i, j) * truth[j];
+    std::vector<double> x;
+    ASSERT_TRUE(SolveSpd(a, b, x));
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], truth[i], 1e-8);
+  }
+}
+
+TEST(CholeskyTest, RejectsIndefiniteMatrix) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.0; a(0, 1) = 2.0;
+  a(1, 0) = 2.0; a(1, 1) = 1.0;  // eigenvalues 3, −1
+  std::vector<double> x;
+  EXPECT_FALSE(SolveSpd(a, {1.0, 1.0}, x));
+}
+
+TEST(CholeskyTest, FactorizeReconstructs) {
+  Matrix a(3, 3);
+  a(0, 0) = 4; a(1, 1) = 5; a(2, 2) = 6;
+  a(0, 1) = a(1, 0) = 1;
+  a(0, 2) = a(2, 0) = 0.5;
+  a(1, 2) = a(2, 1) = 0.25;
+  Matrix factor = a;
+  ASSERT_TRUE(CholeskyFactorize(factor));
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      double value = 0.0;
+      for (std::size_t k = 0; k <= std::min(i, j); ++k) {
+        value += factor(i, k) * factor(j, k);
+      }
+      EXPECT_NEAR(value, a(i, j), 1e-12);
+    }
+  }
+}
+
+// ---------------------------------------------------------------- sparse
+
+TEST(RatingDatasetTest, IndicesAndStats) {
+  std::vector<Rating> ratings = {
+      {0, 0, 5.0f}, {0, 1, 3.0f}, {1, 1, 4.0f}, {2, 0, 1.0f},
+  };
+  RatingDataset data(3, 2, ratings);
+  EXPECT_EQ(data.num_ratings(), 4u);
+  EXPECT_DOUBLE_EQ(data.GlobalMean(), (5.0 + 3.0 + 4.0 + 1.0) / 4.0);
+  EXPECT_EQ(data.ByItem(0).size(), 2u);
+  EXPECT_EQ(data.ByItem(1).size(), 1u);
+  EXPECT_EQ(data.ByUser(0).size(), 2u);
+  EXPECT_EQ(data.ByUser(1).size(), 2u);
+  EXPECT_DOUBLE_EQ(data.ItemMean(0), 4.0);
+  EXPECT_DOUBLE_EQ(data.UserMean(0), 3.0);
+  EXPECT_EQ(data.ItemCount(2), 1u);
+  EXPECT_EQ(data.UserCount(1), 2u);
+}
+
+TEST(RatingDatasetTest, UnratedItemFallsBackToGlobalMean) {
+  std::vector<Rating> ratings = {{0, 0, 4.0f}};
+  RatingDataset data(2, 1, ratings);
+  EXPECT_DOUBLE_EQ(data.ItemMean(1), data.GlobalMean());
+}
+
+TEST(RatingDatasetTest, DensityComputation) {
+  std::vector<Rating> ratings = {{0, 0, 4.0f}, {1, 1, 2.0f}};
+  RatingDataset data(2, 2, ratings);
+  EXPECT_DOUBLE_EQ(data.Density(), 0.5);
+}
+
+TEST(RatingDatasetTest, CsrRoundTrip) {
+  Rng rng(37);
+  std::vector<Rating> ratings;
+  for (int i = 0; i < 500; ++i) {
+    ratings.push_back({static_cast<std::uint32_t>(rng.UniformInt(20)),
+                       static_cast<std::uint32_t>(rng.UniformInt(30)),
+                       static_cast<float>(1 + rng.UniformInt(5))});
+  }
+  RatingDataset data(20, 30, ratings);
+  std::size_t total = 0;
+  for (std::uint32_t m = 0; m < 20; ++m) total += data.ByItem(m).size();
+  EXPECT_EQ(total, data.num_ratings());
+  total = 0;
+  for (std::uint32_t u = 0; u < 30; ++u) total += data.ByUser(u).size();
+  EXPECT_EQ(total, data.num_ratings());
+}
+
+TEST(SplitRatingsTest, PartitionsAllIndices) {
+  Rng rng(41);
+  const auto split = SplitRatings(1000, 0.2, rng);
+  EXPECT_EQ(split.train.size() + split.holdout.size(), 1000u);
+  EXPECT_NEAR(static_cast<double>(split.holdout.size()), 200.0, 50.0);
+}
+
+TEST(SplitRatingsTest, ZeroFractionKeepsEverything) {
+  Rng rng(43);
+  const auto split = SplitRatings(100, 0.0, rng);
+  EXPECT_EQ(split.train.size(), 100u);
+  EXPECT_TRUE(split.holdout.empty());
+}
+
+// ---------------------------------------------------------------- pool
+
+TEST(ThreadPoolTest, ParallelForCoversRange) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> counters(100);
+  pool.ParallelFor(0, 100, [&](std::size_t i) { ++counters[i]; });
+  for (const auto& counter : counters) EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, SubmitAndWait) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 50; ++i) pool.Submit([&] { ++counter; });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  pool.ParallelFor(5, 5, [](std::size_t) { FAIL(); });
+}
+
+TEST(ThreadPoolTest, NestedSubmitFromTask) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([&] {
+      ++counter;
+      pool.Submit([&] { ++counter; });
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(TablePrinterTest, SeparatorRendersLine) {
+  TablePrinter printer({"col"});
+  printer.AddRow({"above"});
+  printer.AddSeparator();
+  printer.AddRow({"below"});
+  std::ostringstream oss;
+  printer.Print(oss);
+  const std::string text = oss.str();
+  // Five horizontal rules: top, under header, separator, bottom... at
+  // least 4 occurrences of the dashed line.
+  std::size_t rules = 0, pos = 0;
+  while ((pos = text.find("+---", pos)) != std::string::npos) {
+    ++rules;
+    pos += 4;
+  }
+  EXPECT_GE(rules, 4u);
+}
+
+// ---------------------------------------------------------------- status
+
+TEST(StatusTest, OkByDefault) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesMessage) {
+  const Status status = Status::InvalidArgument("bad d");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.ToString(), "INVALID_ARGUMENT: bad d");
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> result(Status::NotFound("x"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+// ---------------------------------------------------------------- csv
+
+TEST(CsvTest, WriteEscapesSpecials) {
+  std::ostringstream oss;
+  CsvWriter writer(oss);
+  writer.WriteRow({"plain", "with,comma", "with\"quote"});
+  EXPECT_EQ(oss.str(), "plain,\"with,comma\",\"with\"\"quote\"\n");
+}
+
+TEST(CsvTest, ParseRoundTrip) {
+  const auto fields = ParseCsvLine("plain,\"with,comma\",\"with\"\"quote\"");
+  ASSERT_TRUE(fields.ok());
+  ASSERT_EQ(fields.value().size(), 3u);
+  EXPECT_EQ(fields.value()[0], "plain");
+  EXPECT_EQ(fields.value()[1], "with,comma");
+  EXPECT_EQ(fields.value()[2], "with\"quote");
+}
+
+TEST(CsvTest, ParseRejectsUnterminatedQuote) {
+  EXPECT_FALSE(ParseCsvLine("\"oops").ok());
+}
+
+TEST(CsvTest, NumericRow) {
+  std::ostringstream oss;
+  CsvWriter writer(oss);
+  writer.WriteNumericRow({1.5, 2.0});
+  EXPECT_EQ(oss.str(), "1.5,2\n");
+}
+
+// ---------------------------------------------------------------- printer
+
+TEST(TablePrinterTest, AlignedOutput) {
+  TablePrinter printer({"a", "long_header"});
+  printer.AddRow({"xx", "1"});
+  std::ostringstream oss;
+  printer.Print(oss);
+  const std::string text = oss.str();
+  EXPECT_NE(text.find("| a "), std::string::npos);
+  EXPECT_NE(text.find("long_header"), std::string::npos);
+  EXPECT_NE(text.find("xx"), std::string::npos);
+}
+
+TEST(TablePrinterTest, Formatters) {
+  EXPECT_EQ(TablePrinter::Num(1.2345, 2), "1.23");
+  EXPECT_EQ(TablePrinter::Percent(0.597), "59.7%");
+  EXPECT_EQ(TablePrinter::PrecRec(0.46, 0.88), "0.46 / 0.88");
+}
+
+}  // namespace
+}  // namespace ccdb

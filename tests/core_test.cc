@@ -1,0 +1,548 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+#include "common/rng.h"
+#include "common/vec.h"
+#include "core/expansion.h"
+#include "core/extractor.h"
+#include "core/perceptual_space.h"
+#include "core/policy.h"
+#include "core/quality.h"
+#include "data/domains.h"
+#include "data/synthetic_world.h"
+#include "eval/metrics.h"
+#include "eval/neighbors.h"
+
+namespace ccdb::core {
+namespace {
+
+using data::SyntheticWorld;
+using data::TinyConfig;
+
+// Shared fixture: build one tiny world + perceptual space for all tests
+// (SGD on the tiny world takes ~1s; doing it once keeps the suite fast).
+class PerceptualSpaceFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    world_ = new SyntheticWorld(TinyConfig());
+    const RatingDataset ratings = world_->SampleRatings();
+    PerceptualSpaceOptions options;
+    options.model.dims = 24;
+    options.model.lambda = 0.02;
+    options.trainer.max_epochs = 25;
+    options.trainer.learning_rate = 0.02;
+    space_ = new PerceptualSpace(PerceptualSpace::Build(ratings, options));
+  }
+  static void TearDownTestSuite() {
+    delete space_;
+    delete world_;
+    space_ = nullptr;
+    world_ = nullptr;
+  }
+
+  static SyntheticWorld* world_;
+  static PerceptualSpace* space_;
+};
+
+SyntheticWorld* PerceptualSpaceFixture::world_ = nullptr;
+PerceptualSpace* PerceptualSpaceFixture::space_ = nullptr;
+
+// ------------------------------------------------------------- metrics
+
+TEST(MetricsTest, ConfusionCounting) {
+  const std::vector<bool> predicted = {true, true, false, false, true};
+  const std::vector<bool> actual = {true, false, false, true, true};
+  const auto counts = eval::CountConfusion(predicted, actual);
+  EXPECT_EQ(counts.true_positive, 2u);
+  EXPECT_EQ(counts.false_positive, 1u);
+  EXPECT_EQ(counts.true_negative, 1u);
+  EXPECT_EQ(counts.false_negative, 1u);
+  EXPECT_DOUBLE_EQ(eval::Accuracy(counts), 0.6);
+}
+
+TEST(MetricsTest, GMeanPunishesDegenerateClassifier) {
+  // "Never horror" classifier on 10% horror data: 90% accuracy, 0 g-mean
+  // (the paper's Sec. 4.3 motivation for the measure).
+  std::vector<bool> predicted(100, false);
+  std::vector<bool> actual(100, false);
+  for (int i = 0; i < 10; ++i) actual[i] = true;
+  const auto counts = eval::CountConfusion(predicted, actual);
+  EXPECT_DOUBLE_EQ(eval::Accuracy(counts), 0.9);
+  EXPECT_DOUBLE_EQ(eval::GMean(counts), 0.0);
+}
+
+TEST(MetricsTest, GMeanOfPerfectClassifierIsOne) {
+  std::vector<bool> labels = {true, false, true, false};
+  const auto counts = eval::CountConfusion(labels, labels);
+  EXPECT_DOUBLE_EQ(eval::GMean(counts), 1.0);
+  EXPECT_DOUBLE_EQ(eval::Sensitivity(counts), 1.0);
+  EXPECT_DOUBLE_EQ(eval::Specificity(counts), 1.0);
+}
+
+TEST(MetricsTest, RandomCoinIsNearHalfGMean) {
+  Rng rng(3);
+  std::vector<bool> predicted(20000), actual(20000);
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    predicted[i] = rng.Bernoulli(0.5);
+    actual[i] = rng.Bernoulli(0.1);  // imbalanced ground truth
+  }
+  const auto counts = eval::CountConfusion(predicted, actual);
+  EXPECT_NEAR(eval::GMean(counts), 0.5, 0.02);
+}
+
+TEST(MetricsTest, PrecisionRecall) {
+  std::vector<bool> predicted = {true, true, true, false};
+  std::vector<bool> actual = {true, false, false, false};
+  const auto counts = eval::CountConfusion(predicted, actual);
+  EXPECT_NEAR(eval::Precision(counts), 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(eval::Recall(counts), 1.0);
+}
+
+TEST(MetricsTest, MeanStddev) {
+  const std::vector<double> values = {1.0, 2.0, 3.0, 4.0};
+  const auto stats = eval::ComputeMeanStddev(values);
+  EXPECT_DOUBLE_EQ(stats.mean, 2.5);
+  EXPECT_NEAR(stats.stddev, std::sqrt(1.25), 1e-12);
+}
+
+TEST(MetricsTest, RmseKnownValue) {
+  const std::vector<double> predicted = {1.0, 2.0};
+  const std::vector<double> actual = {2.0, 4.0};
+  EXPECT_NEAR(eval::Rmse(predicted, actual), std::sqrt(2.5), 1e-12);
+}
+
+// ------------------------------------------------------------- space
+
+TEST_F(PerceptualSpaceFixture, SpaceShape) {
+  EXPECT_EQ(space_->num_items(), world_->num_items());
+  EXPECT_EQ(space_->dims(), 24u);
+  EXPECT_GT(space_->CoordinateVariance(), 0.0);
+}
+
+TEST_F(PerceptualSpaceFixture, DistanceIsAMetricOnSamples) {
+  Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto a = static_cast<std::uint32_t>(
+        rng.UniformInt(space_->num_items()));
+    const auto b = static_cast<std::uint32_t>(
+        rng.UniformInt(space_->num_items()));
+    const auto c = static_cast<std::uint32_t>(
+        rng.UniformInt(space_->num_items()));
+    EXPECT_NEAR(space_->Distance(a, b), space_->Distance(b, a), 1e-12);
+    EXPECT_GE(space_->Distance(a, b) + space_->Distance(b, c),
+              space_->Distance(a, c) - 1e-9);
+    EXPECT_DOUBLE_EQ(space_->Distance(a, a), 0.0);
+  }
+}
+
+TEST_F(PerceptualSpaceFixture, NearestNeighborsSortedAndExcludeSelf) {
+  const auto neighbors = space_->NearestNeighbors(0, 5);
+  ASSERT_EQ(neighbors.size(), 5u);
+  for (std::size_t i = 0; i < neighbors.size(); ++i) {
+    EXPECT_NE(neighbors[i].index, 0u);
+    if (i > 0) {
+      EXPECT_GE(neighbors[i].distance, neighbors[i - 1].distance);
+    }
+  }
+}
+
+TEST_F(PerceptualSpaceFixture, NeighborsShareClusters) {
+  // The learned geometry must reflect the planted clusters: neighbor lists
+  // should contain same-cluster items far above the chance rate.
+  Rng rng(7);
+  std::size_t same = 0, total = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto query = static_cast<std::uint32_t>(
+        rng.UniformInt(space_->num_items()));
+    for (const auto& neighbor : space_->NearestNeighbors(query, 5)) {
+      same += world_->ClusterOf(static_cast<std::uint32_t>(neighbor.index)) ==
+                      world_->ClusterOf(query)
+                  ? 1
+                  : 0;
+      ++total;
+    }
+  }
+  const double rate = static_cast<double>(same) / static_cast<double>(total);
+  // Chance rate with 8 clusters ≈ 0.125; the space should far exceed it.
+  EXPECT_GT(rate, 0.4);
+}
+
+TEST_F(PerceptualSpaceFixture, DistanceCorrelatesWithTraitDistance) {
+  // Sec. 4.2's space-quality claim: embedding distances track the latent
+  // perceptual dissimilarity (Pearson ≈ 0.52 in the paper).
+  Rng rng(9);
+  std::vector<double> space_distances, trait_distances;
+  for (int pair = 0; pair < 500; ++pair) {
+    const auto a = static_cast<std::uint32_t>(
+        rng.UniformInt(space_->num_items()));
+    const auto b = static_cast<std::uint32_t>(
+        rng.UniformInt(space_->num_items()));
+    if (a == b) continue;
+    space_distances.push_back(space_->Distance(a, b));
+    trait_distances.push_back(Distance(world_->item_traits().Row(a),
+                                       world_->item_traits().Row(b)));
+  }
+  const double correlation =
+      PearsonCorrelation(space_distances, trait_distances);
+  EXPECT_GT(correlation, 0.35);
+}
+
+TEST_F(PerceptualSpaceFixture, GatherRowsCopiesCoordinates) {
+  const Matrix gathered = space_->GatherRows({3, 1});
+  ASSERT_EQ(gathered.rows(), 2u);
+  for (std::size_t c = 0; c < space_->dims(); ++c) {
+    EXPECT_DOUBLE_EQ(gathered(0, c), space_->CoordsOf(3)[c]);
+    EXPECT_DOUBLE_EQ(gathered(1, c), space_->CoordsOf(1)[c]);
+  }
+}
+
+TEST_F(PerceptualSpaceFixture, SaveLoadRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/space_roundtrip.bin";
+  ASSERT_TRUE(space_->SaveToFile(path).ok());
+  auto loaded = PerceptualSpace::LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const PerceptualSpace& copy = loaded.value();
+  ASSERT_EQ(copy.num_items(), space_->num_items());
+  ASSERT_EQ(copy.dims(), space_->dims());
+  EXPECT_DOUBLE_EQ(copy.global_mean(), space_->global_mean());
+  for (std::uint32_t m = 0; m < copy.num_items(); m += 37) {
+    EXPECT_DOUBLE_EQ(copy.BiasOf(m), space_->BiasOf(m));
+    for (std::size_t c = 0; c < copy.dims(); ++c) {
+      ASSERT_DOUBLE_EQ(copy.CoordsOf(m)[c], space_->CoordsOf(m)[c]);
+    }
+  }
+}
+
+TEST(PerceptualSpaceIo, LoadRejectsGarbage) {
+  const std::string path = ::testing::TempDir() + "/garbage.bin";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("this is not a space", f);
+  std::fclose(f);
+  EXPECT_FALSE(PerceptualSpace::LoadFromFile(path).ok());
+  EXPECT_FALSE(PerceptualSpace::LoadFromFile("/nonexistent/nope").ok());
+}
+
+// ------------------------------------------------------------- extractor
+
+std::pair<std::vector<std::uint32_t>, std::vector<bool>> BalancedSample(
+    const SyntheticWorld& world, std::size_t genre, std::size_t n,
+    std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint32_t> positives, negatives;
+  std::vector<std::uint32_t> order(world.num_items());
+  std::iota(order.begin(), order.end(), 0u);
+  rng.Shuffle(order);
+  for (std::uint32_t item : order) {
+    if (world.GenreLabel(genre, item)) {
+      if (positives.size() < n) positives.push_back(item);
+    } else if (negatives.size() < n) {
+      negatives.push_back(item);
+    }
+  }
+  std::vector<std::uint32_t> items = positives;
+  items.insert(items.end(), negatives.begin(), negatives.end());
+  std::vector<bool> labels(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) labels[i] = i < n;
+  return {items, labels};
+}
+
+TEST_F(PerceptualSpaceFixture, BinaryExtractorBeatsChance) {
+  const auto [items, labels] = BalancedSample(*world_, 0, 20, 11);
+  BinaryAttributeExtractor extractor;
+  ASSERT_TRUE(extractor.Train(*space_, items, labels));
+  const std::vector<bool> predicted = extractor.ExtractAll(*space_);
+  std::vector<bool> truth(world_->num_items());
+  for (std::uint32_t m = 0; m < world_->num_items(); ++m) {
+    truth[m] = world_->GenreLabel(0, m);
+  }
+  const auto counts = eval::CountConfusion(predicted, truth);
+  EXPECT_GT(eval::GMean(counts), 0.62);
+}
+
+TEST_F(PerceptualSpaceFixture, ExtractorRefusesSingleClassSample) {
+  BinaryAttributeExtractor extractor;
+  EXPECT_FALSE(extractor.Train(*space_, {0, 1, 2}, {true, true, true}));
+  EXPECT_FALSE(extractor.trained());
+}
+
+TEST_F(PerceptualSpaceFixture, MoreTrainingDataHelps) {
+  double gmeans[2];
+  const std::size_t sizes[2] = {5, 40};
+  for (int round = 0; round < 2; ++round) {
+    std::vector<double> values;
+    for (std::uint64_t rep = 0; rep < 5; ++rep) {
+      const auto [items, labels] =
+          BalancedSample(*world_, 1, sizes[round], 13 + rep);
+      BinaryAttributeExtractor extractor;
+      if (!extractor.Train(*space_, items, labels)) continue;
+      const auto predicted = extractor.ExtractAll(*space_);
+      std::vector<bool> truth(world_->num_items());
+      for (std::uint32_t m = 0; m < world_->num_items(); ++m) {
+        truth[m] = world_->GenreLabel(1, m);
+      }
+      values.push_back(eval::GMean(eval::CountConfusion(predicted, truth)));
+    }
+    gmeans[round] = eval::ComputeMeanStddev(values).mean;
+  }
+  EXPECT_GT(gmeans[1], gmeans[0] - 0.05);  // n=40 ≳ n=5
+}
+
+TEST_F(PerceptualSpaceFixture, FactualAttributeIsUnlearnable) {
+  // Genre 2 of TinyConfig is factual: independent of the geometry. The
+  // extractor must not beat chance on *held-out* items (training items
+  // are excluded from evaluation — the SVM can memorize those).
+  double total = 0.0;
+  const int reps = 4;
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto [items, labels] = BalancedSample(*world_, 2, 30, 17 + rep);
+    BinaryAttributeExtractor extractor;
+    ASSERT_TRUE(extractor.Train(*space_, items, labels));
+    const auto predicted = extractor.ExtractAll(*space_);
+    std::vector<bool> heldout_predicted, heldout_truth;
+    std::vector<bool> in_training(world_->num_items(), false);
+    for (std::uint32_t item : items) in_training[item] = true;
+    for (std::uint32_t m = 0; m < world_->num_items(); ++m) {
+      if (in_training[m]) continue;
+      heldout_predicted.push_back(predicted[m]);
+      heldout_truth.push_back(world_->GenreLabel(2, m));
+    }
+    total += eval::GMean(
+        eval::CountConfusion(heldout_predicted, heldout_truth));
+  }
+  EXPECT_LT(total / reps, 0.62);  // no better than ~chance
+}
+
+TEST_F(PerceptualSpaceFixture, ProbabilitiesAreCalibratedAndMonotone) {
+  const auto [items, labels] = BalancedSample(*world_, 0, 25, 41);
+  BinaryAttributeExtractor extractor;
+  ASSERT_TRUE(extractor.Train(*space_, items, labels));
+  ASSERT_TRUE(extractor.calibrated());
+  const auto probabilities = extractor.ExtractProbabilities(*space_);
+  const auto decisions = extractor.DecisionValues(*space_);
+  ASSERT_EQ(probabilities.size(), world_->num_items());
+  for (std::size_t i = 0; i < probabilities.size(); ++i) {
+    ASSERT_GE(probabilities[i], 0.0);
+    ASSERT_LE(probabilities[i], 1.0);
+  }
+  // Monotone in the margin: higher decision value ⇒ higher probability.
+  for (std::size_t i = 1; i < 200; ++i) {
+    if (decisions[i] > decisions[i - 1]) {
+      EXPECT_GE(probabilities[i], probabilities[i - 1] - 1e-12);
+    }
+  }
+  // And informative: confident-positive items are mostly true positives.
+  std::size_t confident = 0, confident_correct = 0;
+  for (std::uint32_t m = 0; m < world_->num_items(); ++m) {
+    if (probabilities[m] > 0.85) {
+      ++confident;
+      confident_correct += world_->GenreLabel(0, m) ? 1 : 0;
+    }
+  }
+  if (confident > 10) {
+    EXPECT_GT(static_cast<double>(confident_correct) /
+                  static_cast<double>(confident),
+              0.6);
+  }
+}
+
+TEST_F(PerceptualSpaceFixture, NumericExtractorTracksLatentScore) {
+  // Use distance-to-first-cluster-center as a synthetic numeric perceptual
+  // attribute; SVR must approximate it from 60 samples.
+  std::vector<double> truth(world_->num_items());
+  for (std::uint32_t m = 0; m < world_->num_items(); ++m) {
+    truth[m] = 5.0 - Distance(world_->item_traits().Row(m),
+                              world_->item_traits().Row(0));
+  }
+  Rng rng(19);
+  std::vector<std::uint32_t> items;
+  std::vector<double> values;
+  for (std::size_t index :
+       rng.SampleWithoutReplacement(world_->num_items(), 60)) {
+    items.push_back(static_cast<std::uint32_t>(index));
+    values.push_back(truth[index]);
+  }
+  NumericAttributeExtractor extractor;
+  ASSERT_TRUE(extractor.Train(*space_, items, values));
+  const std::vector<double> predicted = extractor.ExtractAll(*space_);
+  EXPECT_GT(PearsonCorrelation(predicted, truth), 0.5);
+}
+
+TEST_F(PerceptualSpaceFixture, NumericExtractorRejectsEmptySample) {
+  NumericAttributeExtractor extractor;
+  EXPECT_FALSE(extractor.Train(*space_, {}, {}));
+}
+
+// ------------------------------------------------------------- quality
+
+TEST_F(PerceptualSpaceFixture, QualityCheckerFindsSwappedLabels) {
+  // Sec. 4.4's controlled experiment at tiny scale: swap 10% of labels,
+  // expect recall well above chance and precision far above the 10% base
+  // rate of swapped labels.
+  Rng rng(23);
+  std::vector<bool> labels(world_->num_items());
+  std::vector<bool> swapped(world_->num_items(), false);
+  for (std::uint32_t m = 0; m < world_->num_items(); ++m) {
+    labels[m] = world_->GenreLabel(0, m);
+  }
+  const std::size_t num_swaps = world_->num_items() / 10;
+  for (std::size_t index :
+       rng.SampleWithoutReplacement(world_->num_items(), num_swaps)) {
+    labels[index] = !labels[index];
+    swapped[index] = true;
+  }
+  const QualityCheckResult result =
+      FlagQuestionableLabels(*space_, labels, QualityCheckOptions{});
+  const auto counts = eval::CountConfusion(result.flagged, swapped);
+  EXPECT_GT(eval::Recall(counts), 0.55);
+  EXPECT_GT(eval::Precision(counts), 0.25);
+}
+
+TEST_F(PerceptualSpaceFixture, QualityCheckerDegenerateLabels) {
+  std::vector<bool> labels(world_->num_items(), true);
+  const QualityCheckResult result =
+      FlagQuestionableLabels(*space_, labels, QualityCheckOptions{});
+  EXPECT_EQ(result.num_flagged, 0u);
+}
+
+// ------------------------------------------------------------- policy
+
+TEST(PolicyTest, SpaceStrategyWinsOnLargeTables) {
+  CrowdCostModel model;
+  const ExpansionPlan plan = PlanExpansion(10562, 100, model);
+  EXPECT_TRUE(plan.use_space);
+  // Direct: 10562 items → ceil(10562/10)·10 HITs · $0.02 = $211.4;
+  // space: 100 items → 100 HITs · $0.02 = $2.
+  EXPECT_NEAR(plan.direct.dollars, 211.4, 0.01);
+  EXPECT_NEAR(plan.space.dollars, 2.0, 1e-9);
+  EXPECT_GT(plan.cost_ratio, 100.0);
+  EXPECT_GT(plan.direct.minutes, plan.space.minutes);
+}
+
+TEST(PolicyTest, DirectWinsWithoutSpace) {
+  const ExpansionPlan plan =
+      PlanExpansion(10562, 100, CrowdCostModel{}, /*space_available=*/false);
+  EXPECT_FALSE(plan.use_space);
+}
+
+TEST(PolicyTest, TinyTableIsBreakEven) {
+  const ExpansionPlan plan = PlanExpansion(50, 100, CrowdCostModel{});
+  // The gold sample cannot exceed the table; costs tie → direct is fine.
+  EXPECT_FALSE(plan.use_space);
+  EXPECT_NEAR(plan.direct.dollars, plan.space.dollars, 1e-9);
+}
+
+TEST(PolicyTest, SelectUncertainItemsPicksSmallestMargins) {
+  const std::vector<double> decisions = {5.0, -0.1, 2.0, 0.05, -3.0};
+  const auto uncertain = SelectUncertainItems(decisions, 0.4);
+  ASSERT_EQ(uncertain.size(), 2u);
+  EXPECT_EQ(uncertain[0], 3u);  // |0.05|
+  EXPECT_EQ(uncertain[1], 1u);  // |-0.1|
+}
+
+TEST(PolicyTest, SelectUncertainEdgeFractions) {
+  const std::vector<double> decisions = {1.0, 2.0};
+  EXPECT_TRUE(SelectUncertainItems(decisions, 0.0).empty());
+  EXPECT_EQ(SelectUncertainItems(decisions, 1.0).size(), 2u);
+}
+
+// ------------------------------------------------------------- expansion
+
+TEST_F(PerceptualSpaceFixture, IncrementalExpansionProducesCheckpoints) {
+  // Synthesize a judgment stream: 200 sample items, honest judgments
+  // arriving uniformly over 50 minutes.
+  Rng rng(29);
+  std::vector<std::uint32_t> sample;
+  for (std::size_t index :
+       rng.SampleWithoutReplacement(world_->num_items(), 200)) {
+    sample.push_back(static_cast<std::uint32_t>(index));
+  }
+  std::vector<crowd::Judgment> judgments;
+  for (std::size_t i = 0; i < sample.size(); ++i) {
+    for (int vote = 0; vote < 3; ++vote) {
+      crowd::Judgment judgment;
+      judgment.item = static_cast<std::uint32_t>(i);
+      judgment.answer = world_->GenreLabel(0, sample[i])
+                            ? crowd::Answer::kPositive
+                            : crowd::Answer::kNegative;
+      judgment.timestamp_minutes = rng.Uniform(0.0, 50.0);
+      judgment.cost_dollars = 0.002;
+      judgments.push_back(judgment);
+    }
+  }
+  std::sort(judgments.begin(), judgments.end(),
+            [](const crowd::Judgment& a, const crowd::Judgment& b) {
+              return a.timestamp_minutes < b.timestamp_minutes;
+            });
+
+  IncrementalExpansionOptions options;
+  options.checkpoint_interval_minutes = 5.0;
+  const auto checkpoints =
+      RunIncrementalExpansion(*space_, sample, judgments, 50.0, options);
+  ASSERT_EQ(checkpoints.size(), 10u);
+  // Training sets grow, money grows, and the extractor eventually trains.
+  for (std::size_t i = 1; i < checkpoints.size(); ++i) {
+    EXPECT_GE(checkpoints[i].training_size, checkpoints[i - 1].training_size);
+    EXPECT_GE(checkpoints[i].dollars_spent, checkpoints[i - 1].dollars_spent);
+  }
+  EXPECT_TRUE(checkpoints.back().extractor_trained);
+  EXPECT_EQ(checkpoints.back().extracted.size(), sample.size());
+
+  // Final extraction should beat the crowd's coverage (100% vs partial)
+  // and be decently accurate.
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < sample.size(); ++i) {
+    if (checkpoints.back().extracted[i] == world_->GenreLabel(0, sample[i])) {
+      ++correct;
+    }
+  }
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(sample.size()),
+            0.7);
+}
+
+TEST_F(PerceptualSpaceFixture, ExpandSchemaEndToEnd) {
+  Rng rng(31);
+  SchemaExpansionRequest request;
+  request.attribute_name = "is_comedy";
+  std::vector<bool> sample_truth;
+  for (std::size_t index :
+       rng.SampleWithoutReplacement(world_->num_items(), 80)) {
+    request.gold_sample_items.push_back(static_cast<std::uint32_t>(index));
+    sample_truth.push_back(
+        world_->GenreLabel(0, static_cast<std::uint32_t>(index)));
+  }
+
+  crowd::WorkerPool pool;
+  for (int i = 0; i < 10; ++i) {
+    crowd::WorkerProfile worker;
+    worker.honest = true;
+    worker.knowledge = 1.0;
+    worker.accuracy = 0.95;
+    worker.judgments_per_minute = 2.0;
+    pool.workers.push_back(worker);
+  }
+  crowd::HitRunConfig hit_config;
+  hit_config.judgments_per_item = 5;
+  hit_config.perception_flip_rate = 0.05;
+  hit_config.seed = 33;
+
+  const SchemaExpansionResult result =
+      ExpandSchema(*space_, request, pool, hit_config, sample_truth);
+  ASSERT_TRUE(result.success);
+  EXPECT_EQ(result.values.size(), world_->num_items());
+  EXPECT_GT(result.crowd_dollars, 0.0);
+  EXPECT_GT(result.gold_sample_classified, 60u);
+
+  std::vector<bool> truth(world_->num_items());
+  for (std::uint32_t m = 0; m < world_->num_items(); ++m) {
+    truth[m] = world_->GenreLabel(0, m);
+  }
+  const auto counts = eval::CountConfusion(result.values, truth);
+  EXPECT_GT(eval::GMean(counts), 0.6);
+}
+
+}  // namespace
+}  // namespace ccdb::core

@@ -1,0 +1,570 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "db/database.h"
+#include "db/sql_parser.h"
+#include "db/table.h"
+#include "db/table_io.h"
+#include "db/value.h"
+
+namespace ccdb::db {
+namespace {
+
+// ---------------------------------------------------------------- value
+
+TEST(ValueTest, NullHandling) {
+  Value null;
+  EXPECT_TRUE(IsNull(null));
+  EXPECT_EQ(ToString(null), "NULL");
+  EXPECT_FALSE(IsNull(Value(true)));
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(ToString(Value(true)), "true");
+  EXPECT_EQ(ToString(Value(static_cast<std::int64_t>(42))), "42");
+  EXPECT_EQ(ToString(Value(std::string("abc"))), "abc");
+}
+
+TEST(ValueTest, Conformance) {
+  EXPECT_TRUE(Conforms(Value(true), ColumnType::kBool));
+  EXPECT_FALSE(Conforms(Value(true), ColumnType::kInt));
+  EXPECT_TRUE(Conforms(Value(static_cast<std::int64_t>(1)),
+                       ColumnType::kDouble));  // int widens to double
+  EXPECT_TRUE(Conforms(Value{}, ColumnType::kString));  // NULL fits anywhere
+}
+
+TEST(ValueTest, Comparison) {
+  EXPECT_EQ(CompareNonNull(Value(1.0), Value(2.0)), -1);
+  EXPECT_EQ(CompareNonNull(Value(static_cast<std::int64_t>(3)),
+                           Value(3.0)), 0);
+  EXPECT_EQ(CompareNonNull(Value(std::string("b")),
+                           Value(std::string("a"))), 1);
+  EXPECT_EQ(CompareNonNull(Value(true), Value(false)), 1);
+}
+
+// ---------------------------------------------------------------- table
+
+Table MakeMoviesTable() {
+  Schema schema({{"name", ColumnType::kString},
+                 {"year", ColumnType::kInt},
+                 {"rating", ColumnType::kDouble}});
+  Table table("movies", schema);
+  EXPECT_TRUE(table.AppendRow({Value(std::string("Rocky")),
+                               Value(static_cast<std::int64_t>(1976)),
+                               Value(8.1)})
+                  .ok());
+  EXPECT_TRUE(table.AppendRow({Value(std::string("Psycho")),
+                               Value(static_cast<std::int64_t>(1960)),
+                               Value(8.5)})
+                  .ok());
+  EXPECT_TRUE(table.AppendRow({Value(std::string("Grease")),
+                               Value(static_cast<std::int64_t>(1978)),
+                               Value(7.2)})
+                  .ok());
+  return table;
+}
+
+TEST(TableTest, AppendAndAccess) {
+  Table table = MakeMoviesTable();
+  EXPECT_EQ(table.num_rows(), 3u);
+  EXPECT_EQ(ToString(table.Get(0, 0)), "Rocky");
+  EXPECT_EQ(ToString(table.Get(2, 1)), "1978");
+}
+
+TEST(TableTest, AppendRejectsArityMismatch) {
+  Table table = MakeMoviesTable();
+  EXPECT_FALSE(table.AppendRow({Value(std::string("X"))}).ok());
+}
+
+TEST(TableTest, AppendRejectsTypeMismatch) {
+  Table table = MakeMoviesTable();
+  EXPECT_FALSE(table.AppendRow({Value(1.5), Value(static_cast<std::int64_t>(2000)),
+                                Value(5.0)})
+                   .ok());
+}
+
+TEST(TableTest, SchemaExpansionAddsNullColumn) {
+  Table table = MakeMoviesTable();
+  ASSERT_TRUE(table.AddColumn({"is_comedy", ColumnType::kBool}).ok());
+  EXPECT_EQ(table.schema().num_columns(), 4u);
+  for (std::size_t row = 0; row < table.num_rows(); ++row) {
+    EXPECT_TRUE(IsNull(table.Get(row, 3)));
+  }
+  // Duplicate column rejected.
+  EXPECT_FALSE(table.AddColumn({"is_comedy", ColumnType::kBool}).ok());
+}
+
+TEST(TableTest, FillColumn) {
+  Table table = MakeMoviesTable();
+  ASSERT_TRUE(table.AddColumn({"is_comedy", ColumnType::kBool}).ok());
+  ASSERT_TRUE(
+      table.FillColumn(3, {Value(false), Value(false), Value(true)}).ok());
+  EXPECT_EQ(ToString(table.Get(2, 3)), "true");
+  EXPECT_FALSE(table.FillColumn(3, {Value(true)}).ok());  // size mismatch
+  EXPECT_FALSE(table.FillColumn(9, {}).ok());             // bad index
+}
+
+TEST(TableTest, ToTextRendersRows) {
+  Table table = MakeMoviesTable();
+  const std::string text = table.ToText();
+  EXPECT_NE(text.find("Rocky"), std::string::npos);
+  EXPECT_NE(text.find("rating"), std::string::npos);
+}
+
+TEST(TableIoTest, SaveLoadRoundTripWithNullsAndQuotes) {
+  Schema schema({{"name", ColumnType::kString},
+                 {"year", ColumnType::kInt},
+                 {"rating", ColumnType::kDouble},
+                 {"is_comedy", ColumnType::kBool}});
+  Table table("movies", schema);
+  ASSERT_TRUE(table.AppendRow({Value(std::string("Weird, \"Movie\"")),
+                               Value(static_cast<std::int64_t>(1999)),
+                               Value(7.25), Value(true)})
+                  .ok());
+  ASSERT_TRUE(table.AppendRow({Value(std::string("Plain")), Value{},
+                               Value{}, Value(false)})
+                  .ok());
+
+  const std::string path = ::testing::TempDir() + "/table_roundtrip.csv";
+  ASSERT_TRUE(SaveTableCsv(table, path).ok());
+  auto loaded = LoadTableCsv(path, "movies");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const Table& copy = loaded.value();
+  ASSERT_EQ(copy.num_rows(), 2u);
+  ASSERT_EQ(copy.schema().num_columns(), 4u);
+  EXPECT_EQ(copy.schema().column(3).type, ColumnType::kBool);
+  EXPECT_EQ(ToString(copy.Get(0, 0)), "Weird, \"Movie\"");
+  EXPECT_EQ(ToString(copy.Get(0, 1)), "1999");
+  EXPECT_NEAR(std::get<double>(copy.Get(0, 2)), 7.25, 1e-9);
+  EXPECT_EQ(std::get<bool>(copy.Get(0, 3)), true);
+  EXPECT_TRUE(IsNull(copy.Get(1, 1)));
+  EXPECT_TRUE(IsNull(copy.Get(1, 2)));
+}
+
+TEST(TableIoTest, LoadRejectsMalformedFiles) {
+  const std::string path = ::testing::TempDir() + "/bad_table.csv";
+  {
+    std::ofstream out(path);
+    out << "name\n";  // header without type tag
+  }
+  EXPECT_FALSE(LoadTableCsv(path, "t").ok());
+  {
+    std::ofstream out(path);
+    out << "name:STRING,year:INT\nonly_one_field\n";
+  }
+  EXPECT_FALSE(LoadTableCsv(path, "t").ok());
+  {
+    std::ofstream out(path);
+    out << "x:WEIRD\n";
+  }
+  EXPECT_FALSE(LoadTableCsv(path, "t").ok());
+  EXPECT_FALSE(LoadTableCsv("/no/such/table.csv", "t").ok());
+}
+
+// ---------------------------------------------------------------- parser
+
+TEST(ParserTest, SimpleSelect) {
+  const auto statement = ParseSelect("SELECT name FROM movies");
+  ASSERT_TRUE(statement.ok());
+  EXPECT_EQ(statement.value().table, "movies");
+  ASSERT_EQ(statement.value().items.size(), 1u);
+  EXPECT_EQ(statement.value().items[0].kind, SelectItem::Kind::kColumn);
+  EXPECT_EQ(statement.value().items[0].column, "name");
+  EXPECT_EQ(statement.value().where, nullptr);
+}
+
+TEST(ParserTest, SelectStar) {
+  const auto statement = ParseSelect("SELECT * FROM movies");
+  ASSERT_TRUE(statement.ok());
+  EXPECT_TRUE(statement.value().items.empty());
+}
+
+TEST(ParserTest, WhereComparison) {
+  const auto statement =
+      ParseSelect("SELECT * FROM movies WHERE is_comedy = true");
+  ASSERT_TRUE(statement.ok());
+  const Expr* where = statement.value().where.get();
+  ASSERT_NE(where, nullptr);
+  EXPECT_EQ(where->kind, Expr::Kind::kBinary);
+  EXPECT_EQ(where->op, BinaryOp::kEq);
+  EXPECT_EQ(where->left->column, "is_comedy");
+  EXPECT_EQ(std::get<bool>(where->right->literal), true);
+}
+
+TEST(ParserTest, PaperQueryHumorGe8) {
+  const auto statement =
+      ParseSelect("SELECT name FROM movies WHERE humor >= 8");
+  ASSERT_TRUE(statement.ok());
+  EXPECT_EQ(statement.value().where->op, BinaryOp::kGe);
+}
+
+TEST(ParserTest, AndOrNotPrecedence) {
+  const auto statement = ParseSelect(
+      "SELECT * FROM t WHERE a = 1 OR b = 2 AND NOT c = 3");
+  ASSERT_TRUE(statement.ok());
+  const Expr* where = statement.value().where.get();
+  // OR binds loosest: top node is OR, right child is AND.
+  EXPECT_EQ(where->op, BinaryOp::kOr);
+  EXPECT_EQ(where->right->op, BinaryOp::kAnd);
+  EXPECT_EQ(where->right->right->kind, Expr::Kind::kNot);
+}
+
+TEST(ParserTest, Parentheses) {
+  const auto statement =
+      ParseSelect("SELECT * FROM t WHERE (a = 1 OR b = 2) AND c = 3");
+  ASSERT_TRUE(statement.ok());
+  EXPECT_EQ(statement.value().where->op, BinaryOp::kAnd);
+  EXPECT_EQ(statement.value().where->left->op, BinaryOp::kOr);
+}
+
+TEST(ParserTest, OrderByAndLimit) {
+  const auto statement = ParseSelect(
+      "SELECT name FROM movies ORDER BY humor DESC LIMIT 10");
+  ASSERT_TRUE(statement.ok());
+  EXPECT_EQ(statement.value().order_by_column, "humor");
+  EXPECT_TRUE(statement.value().order_descending);
+  ASSERT_TRUE(statement.value().limit.has_value());
+  EXPECT_EQ(*statement.value().limit, 10u);
+}
+
+TEST(ParserTest, StringLiteralsAndEscapes) {
+  const auto statement =
+      ParseSelect("SELECT * FROM t WHERE name = 'O''Hara'");
+  ASSERT_TRUE(statement.ok());
+  EXPECT_EQ(std::get<std::string>(statement.value().where->right->literal),
+            "O'Hara");
+}
+
+TEST(ParserTest, BareBooleanColumnShorthand) {
+  const auto statement = ParseSelect("SELECT * FROM t WHERE is_comedy");
+  ASSERT_TRUE(statement.ok());
+  EXPECT_EQ(statement.value().where->op, BinaryOp::kEq);
+}
+
+TEST(ParserTest, CaseInsensitiveKeywords) {
+  EXPECT_TRUE(ParseSelect("select * from t where a = 1").ok());
+}
+
+TEST(ParserTest, SyntaxErrors) {
+  EXPECT_FALSE(ParseSelect("").ok());
+  EXPECT_FALSE(ParseSelect("SELECT FROM t").ok());
+  EXPECT_FALSE(ParseSelect("SELECT * WHERE a = 1").ok());
+  EXPECT_FALSE(ParseSelect("SELECT * FROM t WHERE").ok());
+  EXPECT_FALSE(ParseSelect("SELECT * FROM t WHERE a = ").ok());
+  EXPECT_FALSE(ParseSelect("SELECT * FROM t trailing junk").ok());
+  EXPECT_FALSE(ParseSelect("SELECT * FROM t WHERE name = 'unterminated").ok());
+  EXPECT_FALSE(ParseSelect("SELECT * FROM t WHERE (a = 1").ok());
+}
+
+TEST(ParserTest, AggregateSelectItems) {
+  const auto statement = ParseSelect(
+      "SELECT cluster, COUNT(*), AVG(rating) FROM movies GROUP BY cluster");
+  ASSERT_TRUE(statement.ok()) << statement.status().ToString();
+  const SelectStatement& parsed = statement.value();
+  ASSERT_EQ(parsed.items.size(), 3u);
+  EXPECT_EQ(parsed.items[0].kind, SelectItem::Kind::kColumn);
+  EXPECT_EQ(parsed.items[1].kind, SelectItem::Kind::kAggregate);
+  EXPECT_EQ(parsed.items[1].func, AggregateFunc::kCount);
+  EXPECT_TRUE(parsed.items[1].column.empty());
+  EXPECT_EQ(parsed.items[2].func, AggregateFunc::kAvg);
+  EXPECT_EQ(parsed.items[2].column, "rating");
+  EXPECT_EQ(parsed.group_by_column, "cluster");
+  EXPECT_TRUE(parsed.HasAggregates());
+}
+
+TEST(ParserTest, AggregateSyntaxErrors) {
+  EXPECT_FALSE(ParseSelect("SELECT SUM(*) FROM t").ok());     // * only COUNT
+  EXPECT_FALSE(ParseSelect("SELECT FOO(x) FROM t").ok());     // unknown func
+  EXPECT_FALSE(ParseSelect("SELECT COUNT(x FROM t").ok());    // missing ')'
+  EXPECT_FALSE(ParseSelect("SELECT AVG() FROM t").ok());      // missing arg
+  EXPECT_FALSE(ParseSelect("SELECT * FROM t GROUP BY").ok()); // missing col
+}
+
+TEST(ParserTest, NegativeNumbersAndDoubles) {
+  const auto statement = ParseSelect("SELECT * FROM t WHERE x < -2.5");
+  ASSERT_TRUE(statement.ok());
+  EXPECT_DOUBLE_EQ(std::get<double>(statement.value().where->right->literal),
+                   -2.5);
+}
+
+// ---------------------------------------------------------------- exec
+
+class CountingResolver : public MissingAttributeResolver {
+ public:
+  Status Resolve(Table& table, const std::string& column_name) override {
+    ++calls;
+    if (column_name != "is_comedy") {
+      return Status::NotFound("unknown attribute " + column_name);
+    }
+    Status status = table.AddColumn({column_name, ColumnType::kBool});
+    if (!status.ok()) return status;
+    std::vector<Value> values;
+    for (std::size_t row = 0; row < table.num_rows(); ++row) {
+      values.push_back(Value(row % 2 == 0));
+    }
+    return table.FillColumn(table.schema().num_columns() - 1, values);
+  }
+
+  int calls = 0;
+};
+
+TEST(DatabaseTest, BasicSelect) {
+  Database database;
+  ASSERT_TRUE(database.AddTable(MakeMoviesTable()).ok());
+  const auto result = database.Execute("SELECT name FROM movies");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().num_rows(), 3u);
+  EXPECT_EQ(result.value().schema().num_columns(), 1u);
+}
+
+TEST(DatabaseTest, WhereFilters) {
+  Database database;
+  ASSERT_TRUE(database.AddTable(MakeMoviesTable()).ok());
+  const auto result =
+      database.Execute("SELECT name FROM movies WHERE year > 1970");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().num_rows(), 2u);
+}
+
+TEST(DatabaseTest, OrderByDescWithLimit) {
+  Database database;
+  ASSERT_TRUE(database.AddTable(MakeMoviesTable()).ok());
+  const auto result = database.Execute(
+      "SELECT name FROM movies ORDER BY rating DESC LIMIT 2");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().num_rows(), 2u);
+  EXPECT_EQ(ToString(result.value().Get(0, 0)), "Psycho");
+  EXPECT_EQ(ToString(result.value().Get(1, 0)), "Rocky");
+}
+
+TEST(DatabaseTest, StringEquality) {
+  Database database;
+  ASSERT_TRUE(database.AddTable(MakeMoviesTable()).ok());
+  const auto result =
+      database.Execute("SELECT year FROM movies WHERE name = 'Rocky'");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().num_rows(), 1u);
+  EXPECT_EQ(ToString(result.value().Get(0, 0)), "1976");
+}
+
+TEST(DatabaseTest, MissingTableError) {
+  Database database;
+  const auto result = database.Execute("SELECT * FROM nothing");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(DatabaseTest, MissingColumnWithoutResolverFails) {
+  Database database;
+  ASSERT_TRUE(database.AddTable(MakeMoviesTable()).ok());
+  const auto result =
+      database.Execute("SELECT * FROM movies WHERE is_comedy = true");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(DatabaseTest, ResolverTriggersSchemaExpansion) {
+  Database database;
+  ASSERT_TRUE(database.AddTable(MakeMoviesTable()).ok());
+  CountingResolver resolver;
+  database.SetResolver(&resolver);
+  const auto result =
+      database.Execute("SELECT name FROM movies WHERE is_comedy = true");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(resolver.calls, 1);
+  EXPECT_EQ(result.value().num_rows(), 2u);  // rows 0 and 2
+
+  // Second query reuses the materialized column — no second resolution.
+  const auto again =
+      database.Execute("SELECT name FROM movies WHERE is_comedy = false");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(resolver.calls, 1);
+  EXPECT_EQ(again.value().num_rows(), 1u);
+}
+
+TEST(DatabaseTest, ResolverFailurePropagates) {
+  Database database;
+  ASSERT_TRUE(database.AddTable(MakeMoviesTable()).ok());
+  CountingResolver resolver;
+  database.SetResolver(&resolver);
+  const auto result =
+      database.Execute("SELECT * FROM movies WHERE humor >= 8");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(DatabaseTest, NullComparisonsAreUnknown) {
+  Schema schema({{"x", ColumnType::kDouble}});
+  Table table("t", schema);
+  ASSERT_TRUE(table.AppendRow({Value(1.0)}).ok());
+  ASSERT_TRUE(table.AppendRow({Value{}}).ok());  // NULL
+  Database database;
+  ASSERT_TRUE(database.AddTable(std::move(table)).ok());
+  const auto result = database.Execute("SELECT * FROM t WHERE x < 5");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().num_rows(), 1u);  // NULL row filtered out
+  // NOT(NULL comparison) is still UNKNOWN → filtered.
+  const auto negated = database.Execute("SELECT * FROM t WHERE NOT x < 5");
+  ASSERT_TRUE(negated.ok());
+  EXPECT_EQ(negated.value().num_rows(), 0u);
+}
+
+TEST(DatabaseTest, TypeMismatchInComparisonIsError) {
+  Database database;
+  ASSERT_TRUE(database.AddTable(MakeMoviesTable()).ok());
+  const auto result =
+      database.Execute("SELECT * FROM movies WHERE name > 5");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DatabaseTest, AndOrEvaluation) {
+  Database database;
+  ASSERT_TRUE(database.AddTable(MakeMoviesTable()).ok());
+  const auto result = database.Execute(
+      "SELECT name FROM movies WHERE year > 1970 AND rating > 8 OR "
+      "name = 'Psycho'");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().num_rows(), 2u);  // Rocky (8.1>8) and Psycho
+}
+
+TEST(DatabaseTest, AggregatesWithoutGroupBy) {
+  Database database;
+  ASSERT_TRUE(database.AddTable(MakeMoviesTable()).ok());
+  const auto result = database.Execute(
+      "SELECT COUNT(*), AVG(rating), MIN(year), MAX(year), SUM(rating) "
+      "FROM movies");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result.value().num_rows(), 1u);
+  EXPECT_EQ(ToString(result.value().Get(0, 0)), "3");
+  EXPECT_NEAR(std::get<double>(result.value().Get(0, 1)),
+              (8.1 + 8.5 + 7.2) / 3.0, 1e-9);
+  EXPECT_EQ(ToString(result.value().Get(0, 2)), "1960");
+  EXPECT_EQ(ToString(result.value().Get(0, 3)), "1978");
+  EXPECT_NEAR(std::get<double>(result.value().Get(0, 4)), 23.8, 1e-9);
+}
+
+TEST(DatabaseTest, AggregatesRespectWhere) {
+  Database database;
+  ASSERT_TRUE(database.AddTable(MakeMoviesTable()).ok());
+  const auto result = database.Execute(
+      "SELECT COUNT(*) FROM movies WHERE year > 1970");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(ToString(result.value().Get(0, 0)), "2");
+}
+
+TEST(DatabaseTest, GroupByAggregates) {
+  Schema schema({{"genre", ColumnType::kString},
+                 {"rating", ColumnType::kDouble}});
+  Table table("t", schema);
+  ASSERT_TRUE(table.AppendRow({Value(std::string("a")), Value(1.0)}).ok());
+  ASSERT_TRUE(table.AppendRow({Value(std::string("b")), Value(2.0)}).ok());
+  ASSERT_TRUE(table.AppendRow({Value(std::string("a")), Value(3.0)}).ok());
+  Database database;
+  ASSERT_TRUE(database.AddTable(std::move(table)).ok());
+  const auto result = database.Execute(
+      "SELECT genre, COUNT(*), AVG(rating) FROM t GROUP BY genre "
+      "ORDER BY genre");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result.value().num_rows(), 2u);
+  EXPECT_EQ(ToString(result.value().Get(0, 0)), "a");
+  EXPECT_EQ(ToString(result.value().Get(0, 1)), "2");
+  EXPECT_NEAR(std::get<double>(result.value().Get(0, 2)), 2.0, 1e-9);
+  EXPECT_EQ(ToString(result.value().Get(1, 0)), "b");
+}
+
+TEST(DatabaseTest, GroupByOrderByAggregateColumn) {
+  Schema schema({{"genre", ColumnType::kString},
+                 {"rating", ColumnType::kDouble}});
+  Table table("t", schema);
+  ASSERT_TRUE(table.AppendRow({Value(std::string("a")), Value(1.0)}).ok());
+  ASSERT_TRUE(table.AppendRow({Value(std::string("b")), Value(9.0)}).ok());
+  ASSERT_TRUE(table.AppendRow({Value(std::string("a")), Value(2.0)}).ok());
+  Database database;
+  ASSERT_TRUE(database.AddTable(std::move(table)).ok());
+  const auto result = database.Execute(
+      "SELECT genre, COUNT(*) FROM t GROUP BY genre "
+      "ORDER BY count(*) DESC LIMIT 1");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result.value().num_rows(), 1u);
+  EXPECT_EQ(ToString(result.value().Get(0, 0)), "a");
+}
+
+TEST(DatabaseTest, HavingFiltersGroups) {
+  Schema schema({{"genre", ColumnType::kString},
+                 {"rating", ColumnType::kDouble}});
+  Table table("t", schema);
+  ASSERT_TRUE(table.AppendRow({Value(std::string("a")), Value(1.0)}).ok());
+  ASSERT_TRUE(table.AppendRow({Value(std::string("a")), Value(2.0)}).ok());
+  ASSERT_TRUE(table.AppendRow({Value(std::string("b")), Value(9.0)}).ok());
+  ASSERT_TRUE(table.AppendRow({Value(std::string("c")), Value(4.0)}).ok());
+  ASSERT_TRUE(table.AppendRow({Value(std::string("c")), Value(6.0)}).ok());
+  Database database;
+  ASSERT_TRUE(database.AddTable(std::move(table)).ok());
+
+  const auto result = database.Execute(
+      "SELECT genre, COUNT(*) FROM t GROUP BY genre HAVING COUNT(*) >= 2 "
+      "ORDER BY genre");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result.value().num_rows(), 2u);
+  EXPECT_EQ(ToString(result.value().Get(0, 0)), "a");
+  EXPECT_EQ(ToString(result.value().Get(1, 0)), "c");
+
+  const auto by_avg = database.Execute(
+      "SELECT genre, AVG(rating) FROM t GROUP BY genre "
+      "HAVING AVG(rating) > 4.5");
+  ASSERT_TRUE(by_avg.ok()) << by_avg.status().ToString();
+  ASSERT_EQ(by_avg.value().num_rows(), 2u);  // b (9.0) and c (5.0)
+}
+
+TEST(DatabaseTest, HavingWithoutAggregatesIsError) {
+  Database database;
+  ASSERT_TRUE(database.AddTable(MakeMoviesTable()).ok());
+  const auto result =
+      database.Execute("SELECT name FROM movies HAVING year > 1970");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(ParserTest, HavingParses) {
+  const auto statement = ParseSelect(
+      "SELECT genre, COUNT(*) FROM t GROUP BY genre HAVING COUNT(*) > 3");
+  ASSERT_TRUE(statement.ok()) << statement.status().ToString();
+  ASSERT_NE(statement.value().having, nullptr);
+  EXPECT_EQ(statement.value().having->left->column, "count(*)");
+}
+
+TEST(DatabaseTest, AggregateErrors) {
+  Database database;
+  ASSERT_TRUE(database.AddTable(MakeMoviesTable()).ok());
+  // Plain column outside GROUP BY.
+  EXPECT_FALSE(database.Execute("SELECT name, COUNT(*) FROM movies").ok());
+  // SUM over a string column.
+  EXPECT_FALSE(database.Execute("SELECT SUM(name) FROM movies").ok());
+  // Aggregate over a missing column (no resolver).
+  EXPECT_FALSE(database.Execute("SELECT AVG(humor) FROM movies").ok());
+}
+
+TEST(DatabaseTest, AggregateNullHandling) {
+  Schema schema({{"x", ColumnType::kDouble}});
+  Table table("t", schema);
+  ASSERT_TRUE(table.AppendRow({Value(2.0)}).ok());
+  ASSERT_TRUE(table.AppendRow({Value{}}).ok());  // NULL
+  Database database;
+  ASSERT_TRUE(database.AddTable(std::move(table)).ok());
+  const auto result =
+      database.Execute("SELECT COUNT(*), COUNT(x), AVG(x) FROM t");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(ToString(result.value().Get(0, 0)), "2");  // COUNT(*) counts rows
+  EXPECT_EQ(ToString(result.value().Get(0, 1)), "1");  // COUNT(x) skips NULL
+  EXPECT_NEAR(std::get<double>(result.value().Get(0, 2)), 2.0, 1e-9);
+}
+
+TEST(DatabaseTest, DuplicateTableRejected) {
+  Database database;
+  ASSERT_TRUE(database.AddTable(MakeMoviesTable()).ok());
+  EXPECT_FALSE(database.AddTable(MakeMoviesTable()).ok());
+}
+
+}  // namespace
+}  // namespace ccdb::db

@@ -1,0 +1,364 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "core/perceptual_space.h"
+#include "core/resolver.h"
+#include "crowd/experiments.h"
+#include "data/domains.h"
+#include "data/expert_sources.h"
+#include "data/metadata.h"
+#include "data/synthetic_world.h"
+#include "db/database.h"
+#include "eval/metrics.h"
+#include "lsi/lsi.h"
+
+namespace ccdb {
+namespace {
+
+// Full pipeline fixture: world → ratings → perceptual space → database
+// with a schema-expansion resolver. Built once for the whole suite.
+class PipelineFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    world_ = new data::SyntheticWorld(data::TinyConfig());
+    const RatingDataset ratings = world_->SampleRatings();
+
+    core::PerceptualSpaceOptions options;
+    options.model.dims = 24;
+    options.trainer.max_epochs = 25;
+    options.trainer.learning_rate = 0.02;
+    space_ = new core::PerceptualSpace(
+        core::PerceptualSpace::Build(ratings, options));
+  }
+  static void TearDownTestSuite() {
+    delete space_;
+    delete world_;
+    space_ = nullptr;
+    world_ = nullptr;
+  }
+
+  // Builds the movies table (factual part only) for the world.
+  static db::Table MakeItemsTable() {
+    db::Schema schema({{"item_id", db::ColumnType::kInt},
+                       {"name", db::ColumnType::kString},
+                       {"cluster", db::ColumnType::kInt}});
+    db::Table table("movies", schema);
+    for (std::uint32_t m = 0; m < world_->num_items(); ++m) {
+      EXPECT_TRUE(
+          table
+              .AppendRow({db::Value(static_cast<std::int64_t>(m)),
+                          db::Value(world_->ItemName(m)),
+                          db::Value(static_cast<std::int64_t>(
+                              world_->ClusterOf(m)))})
+              .ok());
+    }
+    return table;
+  }
+
+  static data::SyntheticWorld* world_;
+  static core::PerceptualSpace* space_;
+};
+
+data::SyntheticWorld* PipelineFixture::world_ = nullptr;
+core::PerceptualSpace* PipelineFixture::space_ = nullptr;
+
+TEST_F(PipelineFixture, QueryDrivenSchemaExpansionEndToEnd) {
+  // The paper's headline scenario: a SELECT on an attribute the schema
+  // does not have triggers crowd-sourcing + space extraction at query
+  // time, then returns rows.
+  db::Database database;
+  ASSERT_TRUE(database.AddTable(MakeItemsTable()).ok());
+
+  crowd::WorkerPool pool;
+  for (int i = 0; i < 12; ++i) {
+    crowd::WorkerProfile worker;
+    worker.honest = true;
+    worker.knowledge = 1.0;
+    worker.accuracy = 0.92;
+    worker.judgments_per_minute = 2.0;
+    pool.workers.push_back(worker);
+  }
+  crowd::HitRunConfig hit_config;
+  hit_config.judgments_per_item = 5;
+  hit_config.seed = 71;
+
+  core::PerceptualExpansionResolver resolver(space_, pool, hit_config);
+  core::PerceptualAttributeSpec spec;
+  spec.type = db::ColumnType::kBool;
+  spec.gold_sample_size = 80;
+  spec.bool_truth = [&](std::uint32_t item) {
+    return world_->GenreLabel(0, item);
+  };
+  resolver.RegisterAttribute("is_comedy", std::move(spec));
+  database.SetResolver(&resolver);
+
+  const auto result =
+      database.Execute("SELECT name FROM movies WHERE is_comedy = true");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result.value().num_rows(), 0u);
+  EXPECT_LT(result.value().num_rows(), world_->num_items());
+  EXPECT_GT(resolver.last_result().crowd_dollars, 0.0);
+
+  // The filled column should agree with ground truth well above chance.
+  const db::Table* movies = database.FindTable("movies");
+  ASSERT_NE(movies, nullptr);
+  const std::size_t column = movies->schema().FindColumn("is_comedy");
+  ASSERT_NE(column, db::Schema::kNotFound);
+  std::vector<bool> predicted(world_->num_items());
+  std::vector<bool> truth(world_->num_items());
+  for (std::uint32_t m = 0; m < world_->num_items(); ++m) {
+    predicted[m] = std::get<bool>(movies->Get(m, column));
+    truth[m] = world_->GenreLabel(0, m);
+  }
+  EXPECT_GT(eval::GMean(eval::CountConfusion(predicted, truth)), 0.6);
+}
+
+TEST_F(PipelineFixture, NumericAttributeExpansionViaSvr) {
+  db::Database database;
+  ASSERT_TRUE(database.AddTable(MakeItemsTable()).ok());
+
+  core::PerceptualExpansionResolver resolver(
+      space_, crowd::WorkerPool{{crowd::WorkerProfile{}}},
+      crowd::HitRunConfig{});
+  core::PerceptualAttributeSpec spec;
+  spec.type = db::ColumnType::kDouble;
+  spec.gold_sample_size = 60;
+  // Humor score: a latent-trait functional scaled to 0–10.
+  spec.numeric_truth = [&](std::uint32_t item) {
+    return 5.0 + 4.0 * world_->item_traits()(item, 0) /
+                     (std::abs(world_->item_traits()(item, 0)) + 0.5);
+  };
+  resolver.RegisterAttribute("humor", std::move(spec));
+  database.SetResolver(&resolver);
+
+  const auto result = database.Execute(
+      "SELECT name, humor FROM movies ORDER BY humor DESC LIMIT 5");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result.value().num_rows(), 5u);
+  // Ordered descending by the extracted score.
+  double previous = 1e18;
+  for (std::size_t row = 0; row < 5; ++row) {
+    const double humor = std::get<double>(result.value().Get(row, 1));
+    EXPECT_LE(humor, previous);
+    previous = humor;
+  }
+}
+
+TEST_F(PipelineFixture, UnregisteredAttributeFailsCleanly) {
+  db::Database database;
+  ASSERT_TRUE(database.AddTable(MakeItemsTable()).ok());
+  core::PerceptualExpansionResolver resolver(
+      space_, crowd::WorkerPool{{crowd::WorkerProfile{}}},
+      crowd::HitRunConfig{});
+  database.SetResolver(&resolver);
+  const auto result =
+      database.Execute("SELECT * FROM movies WHERE email = 'x'");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(PipelineFixture, RefreshFillsRowsAppendedAfterExpansion) {
+  // Build a table with only the first 250 items, expand is_comedy, then
+  // append 50 more rows (already embedded in the space) and Refresh.
+  db::Schema schema({{"item_id", db::ColumnType::kInt},
+                     {"name", db::ColumnType::kString}});
+  db::Table table("movies", schema);
+  const std::size_t initial_rows = 250;
+  for (std::uint32_t m = 0; m < initial_rows; ++m) {
+    ASSERT_TRUE(table
+                    .AppendRow({db::Value(static_cast<std::int64_t>(m)),
+                                db::Value(world_->ItemName(m))})
+                    .ok());
+  }
+  db::Database database;
+  ASSERT_TRUE(database.AddTable(std::move(table)).ok());
+
+  crowd::WorkerPool pool;
+  for (int i = 0; i < 8; ++i) {
+    crowd::WorkerProfile worker;
+    worker.honest = true;
+    worker.knowledge = 1.0;
+    worker.accuracy = 0.95;
+    worker.judgments_per_minute = 2.0;
+    pool.workers.push_back(worker);
+  }
+  crowd::HitRunConfig hit_config;
+  hit_config.judgments_per_item = 5;
+  hit_config.perception_flip_rate = 0.05;
+  hit_config.seed = 93;
+  core::PerceptualExpansionResolver resolver(space_, pool, hit_config);
+  core::PerceptualAttributeSpec spec;
+  spec.type = db::ColumnType::kBool;
+  spec.gold_sample_size = 80;
+  spec.bool_truth = [&](std::uint32_t item) {
+    return world_->GenreLabel(0, item);
+  };
+  resolver.RegisterAttribute("is_comedy", std::move(spec));
+  database.SetResolver(&resolver);
+
+  ASSERT_TRUE(database.Execute("SELECT name FROM movies WHERE is_comedy")
+                  .ok());
+  const double first_cost = resolver.last_result().crowd_dollars;
+  EXPECT_GT(first_cost, 0.0);
+
+  // Append 50 new rows: the expanded column gets NULLs.
+  db::Table* movies = database.FindMutableTable("movies");
+  const std::size_t column = movies->schema().FindColumn("is_comedy");
+  ASSERT_NE(column, db::Schema::kNotFound);
+  for (std::uint32_t m = initial_rows; m < initial_rows + 50; ++m) {
+    ASSERT_TRUE(movies
+                    ->AppendRow({db::Value(static_cast<std::int64_t>(m)),
+                                 db::Value(world_->ItemName(m)),
+                                 db::Value{}})
+                    .ok());
+  }
+  EXPECT_TRUE(db::IsNull(movies->Get(initial_rows, column)));
+
+  // Refresh fills only the NULLs — and costs nothing.
+  ASSERT_TRUE(resolver.Refresh(*movies, "is_comedy").ok());
+  std::size_t correct = 0;
+  for (std::uint32_t m = initial_rows; m < initial_rows + 50; ++m) {
+    ASSERT_FALSE(db::IsNull(movies->Get(m, column)));
+    if (std::get<bool>(movies->Get(m, column)) ==
+        world_->GenreLabel(0, m)) {
+      ++correct;
+    }
+  }
+  EXPECT_GT(correct, 30u);  // clearly better than chance on fresh rows
+  EXPECT_DOUBLE_EQ(resolver.last_result().crowd_dollars, first_cost);
+}
+
+TEST_F(PipelineFixture, AuditLogRecordsExpansions) {
+  db::Database database;
+  ASSERT_TRUE(database.AddTable(MakeItemsTable()).ok());
+  crowd::WorkerPool pool;
+  for (int i = 0; i < 8; ++i) {
+    crowd::WorkerProfile worker;
+    worker.honest = true;
+    worker.knowledge = 1.0;
+    worker.accuracy = 0.95;
+    worker.judgments_per_minute = 2.0;
+    pool.workers.push_back(worker);
+  }
+  crowd::HitRunConfig hit_config;
+  hit_config.judgments_per_item = 5;
+  hit_config.seed = 95;
+  core::PerceptualExpansionResolver resolver(space_, pool, hit_config);
+  core::PerceptualAttributeSpec comedy;
+  comedy.type = db::ColumnType::kBool;
+  comedy.gold_sample_size = 60;
+  comedy.bool_truth = [&](std::uint32_t item) {
+    return world_->GenreLabel(0, item);
+  };
+  resolver.RegisterAttribute("is_comedy", std::move(comedy));
+  core::PerceptualAttributeSpec humor;
+  humor.type = db::ColumnType::kDouble;
+  humor.gold_sample_size = 40;
+  humor.numeric_truth = [&](std::uint32_t item) {
+    return world_->item_traits()(item, 0);
+  };
+  resolver.RegisterAttribute("humor", std::move(humor));
+  database.SetResolver(&resolver);
+
+  ASSERT_TRUE(database.Execute("SELECT * FROM movies WHERE is_comedy").ok());
+  ASSERT_TRUE(
+      database.Execute("SELECT * FROM movies WHERE humor > 0").ok());
+
+  ASSERT_EQ(resolver.audit_log().size(), 2u);
+  EXPECT_EQ(resolver.audit_log()[0].attribute, "is_comedy");
+  EXPECT_GT(resolver.audit_log()[0].crowd_dollars, 0.0);
+  EXPECT_EQ(resolver.audit_log()[1].attribute, "humor");
+
+  // The audit table is itself queryable.
+  db::Database audit_db;
+  ASSERT_TRUE(audit_db.AddTable(resolver.AuditTable()).ok());
+  const auto result = audit_db.Execute(
+      "SELECT attribute FROM expansion_audit WHERE dollars > 0");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result.value().num_rows(), 1u);
+  EXPECT_EQ(db::ToString(result.value().Get(0, 0)), "is_comedy");
+}
+
+TEST_F(PipelineFixture, RefreshErrorsWithoutMaterializedColumn) {
+  db::Table table("t", db::Schema({{"x", db::ColumnType::kInt}}));
+  core::PerceptualExpansionResolver resolver(
+      space_, crowd::WorkerPool{{crowd::WorkerProfile{}}},
+      crowd::HitRunConfig{});
+  EXPECT_FALSE(resolver.Refresh(table, "is_comedy").ok());
+}
+
+TEST_F(PipelineFixture, PerceptualSpaceBeatsMetadataSpace) {
+  // Miniature Table 3: same SVM, same training samples, perceptual space
+  // vs LSI metadata space. The perceptual space must win clearly.
+  const auto documents =
+      data::GenerateMetadata(*world_, data::MetadataConfig{});
+  lsi::LsiOptions lsi_options;
+  lsi_options.dims = 24;
+  const lsi::LsiSpace metadata = lsi::BuildLsiSpace(documents, lsi_options);
+  core::PerceptualSpace metadata_space(metadata.document_coords);
+
+  Rng rng(73);
+  double perceptual_total = 0.0, metadata_total = 0.0;
+  const int repetitions = 5;
+  for (int rep = 0; rep < repetitions; ++rep) {
+    // Balanced sample of 20+20 for genre 0.
+    std::vector<std::uint32_t> positives, negatives;
+    std::vector<std::size_t> order =
+        rng.SampleWithoutReplacement(world_->num_items(),
+                                     world_->num_items());
+    for (std::size_t index : order) {
+      const auto item = static_cast<std::uint32_t>(index);
+      if (world_->GenreLabel(0, item)) {
+        if (positives.size() < 20) positives.push_back(item);
+      } else if (negatives.size() < 20) {
+        negatives.push_back(item);
+      }
+    }
+    std::vector<std::uint32_t> items = positives;
+    items.insert(items.end(), negatives.begin(), negatives.end());
+    std::vector<bool> labels(items.size());
+    for (std::size_t i = 0; i < items.size(); ++i) labels[i] = i < 20;
+
+    std::vector<bool> truth(world_->num_items());
+    for (std::uint32_t m = 0; m < world_->num_items(); ++m) {
+      truth[m] = world_->GenreLabel(0, m);
+    }
+
+    core::BinaryAttributeExtractor perceptual_extractor;
+    ASSERT_TRUE(perceptual_extractor.Train(*space_, items, labels));
+    perceptual_total += eval::GMean(eval::CountConfusion(
+        perceptual_extractor.ExtractAll(*space_), truth));
+
+    core::BinaryAttributeExtractor metadata_extractor;
+    ASSERT_TRUE(metadata_extractor.Train(metadata_space, items, labels));
+    metadata_total += eval::GMean(eval::CountConfusion(
+        metadata_extractor.ExtractAll(metadata_space), truth));
+  }
+  EXPECT_GT(perceptual_total / repetitions,
+            metadata_total / repetitions + 0.1);
+}
+
+TEST_F(PipelineFixture, ExpertSourcesProvideUsableReference) {
+  const data::ExpertSources sources =
+      data::SimulateExpertSources(*world_, data::ExpertSourcesConfig{});
+  // Training on majority-reference samples still yields a good extractor.
+  Rng rng(79);
+  std::vector<std::uint32_t> items;
+  std::vector<bool> labels;
+  for (std::size_t index :
+       rng.SampleWithoutReplacement(world_->num_items(), 60)) {
+    items.push_back(static_cast<std::uint32_t>(index));
+    labels.push_back(sources.majority[0][index]);
+  }
+  core::BinaryAttributeExtractor extractor;
+  ASSERT_TRUE(extractor.Train(*space_, items, labels));
+  const auto predicted = extractor.ExtractAll(*space_);
+  std::vector<bool> reference(sources.majority[0].begin(),
+                              sources.majority[0].end());
+  EXPECT_GT(eval::GMean(eval::CountConfusion(predicted, reference)), 0.6);
+}
+
+}  // namespace
+}  // namespace ccdb

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/vec.h"
+#include "lsi/lsi.h"
+
+namespace ccdb::lsi {
+namespace {
+
+TEST(VocabularyTest, AssignsStableIds) {
+  Vocabulary vocabulary;
+  EXPECT_EQ(vocabulary.GetOrAdd("alpha"), 0u);
+  EXPECT_EQ(vocabulary.GetOrAdd("beta"), 1u);
+  EXPECT_EQ(vocabulary.GetOrAdd("alpha"), 0u);
+  EXPECT_EQ(vocabulary.size(), 2u);
+  EXPECT_EQ(vocabulary.Find("beta"), 1u);
+  EXPECT_EQ(vocabulary.Find("gamma"), Vocabulary::kNotFound);
+  EXPECT_EQ(vocabulary.TokenOf(0), "alpha");
+}
+
+std::vector<Document> TwoTopicCorpus(std::size_t docs_per_topic) {
+  // Topic A shares tokens {cat, dog, pet}; topic B {stock, bond, market};
+  // every doc also has unique noise tokens.
+  std::vector<Document> documents;
+  for (std::size_t i = 0; i < docs_per_topic; ++i) {
+    documents.push_back({"cat", "dog", "pet", "noise" + std::to_string(i)});
+  }
+  for (std::size_t i = 0; i < docs_per_topic; ++i) {
+    documents.push_back(
+        {"stock", "bond", "market", "noiseb" + std::to_string(i)});
+  }
+  return documents;
+}
+
+TEST(LsiTest, SeparatesTopics) {
+  const auto documents = TwoTopicCorpus(20);
+  LsiOptions options;
+  options.dims = 4;
+  options.seed = 5;
+  const LsiSpace space = BuildLsiSpace(documents, options);
+  ASSERT_EQ(space.document_coords.rows(), 40u);
+
+  // Same-topic documents must be closer than cross-topic ones on average.
+  double intra = 0.0, inter = 0.0;
+  std::size_t intra_count = 0, inter_count = 0;
+  for (std::size_t a = 0; a < 40; ++a) {
+    for (std::size_t b = a + 1; b < 40; ++b) {
+      const double dist = Distance(space.document_coords.Row(a),
+                                   space.document_coords.Row(b));
+      if ((a < 20) == (b < 20)) {
+        intra += dist;
+        ++intra_count;
+      } else {
+        inter += dist;
+        ++inter_count;
+      }
+    }
+  }
+  intra /= static_cast<double>(intra_count);
+  inter /= static_cast<double>(inter_count);
+  EXPECT_LT(intra, inter * 0.7);
+}
+
+TEST(LsiTest, SingularValuesDescending) {
+  const auto documents = TwoTopicCorpus(10);
+  LsiOptions options;
+  options.dims = 5;
+  const LsiSpace space = BuildLsiSpace(documents, options);
+  for (std::size_t i = 0; i + 1 < space.singular_values.size(); ++i) {
+    EXPECT_GE(space.singular_values[i],
+              space.singular_values[i + 1] - 1e-9);
+  }
+  EXPECT_GT(space.singular_values[0], 0.0);
+}
+
+TEST(LsiTest, DimsClampedToRankBound) {
+  std::vector<Document> documents = {{"a", "b"}, {"b", "c"}, {"c", "a"}};
+  LsiOptions options;
+  options.dims = 100;  // way beyond rank
+  const LsiSpace space = BuildLsiSpace(documents, options);
+  EXPECT_LE(space.document_coords.cols(), 3u);
+}
+
+TEST(LsiTest, DeterministicForSeed) {
+  const auto documents = TwoTopicCorpus(8);
+  LsiOptions options;
+  options.dims = 3;
+  options.seed = 17;
+  const LsiSpace a = BuildLsiSpace(documents, options);
+  const LsiSpace b = BuildLsiSpace(documents, options);
+  for (std::size_t i = 0; i < a.document_coords.Data().size(); ++i) {
+    ASSERT_DOUBLE_EQ(a.document_coords.Data()[i], b.document_coords.Data()[i]);
+  }
+}
+
+TEST(LsiTest, ApproximatesFrobeniusMass) {
+  // For a corpus with two dominant topics, 2 dimensions should capture
+  // most of the raw count matrix's Frobenius mass via the singular values.
+  // (tf-idf deliberately boosts the rare noise tokens, so the raw-count
+  // space is used for this spectral check.)
+  const auto documents = TwoTopicCorpus(15);
+  LsiOptions options;
+  options.dims = 10;
+  options.tf_idf = false;
+  const LsiSpace space = BuildLsiSpace(documents, options);
+  double top2 = 0.0, rest = 0.0;
+  for (std::size_t i = 0; i < space.singular_values.size(); ++i) {
+    const double sq = space.singular_values[i] * space.singular_values[i];
+    if (i < 2) {
+      top2 += sq;
+    } else {
+      rest += sq;
+    }
+  }
+  EXPECT_GT(top2, rest);
+}
+
+TEST(LsiTest, TfIdfDownweightsUbiquitousTokens) {
+  // A token present in every document carries no discriminative weight;
+  // with tf-idf the two groups should still separate on the rare tokens.
+  std::vector<Document> documents;
+  for (int i = 0; i < 10; ++i) documents.push_back({"common", "rare_a"});
+  for (int i = 0; i < 10; ++i) documents.push_back({"common", "rare_b"});
+  LsiOptions options;
+  options.dims = 2;
+  const LsiSpace space = BuildLsiSpace(documents, options);
+  const double intra = Distance(space.document_coords.Row(0),
+                                space.document_coords.Row(1));
+  const double inter = Distance(space.document_coords.Row(0),
+                                space.document_coords.Row(10));
+  EXPECT_LT(intra, inter);
+}
+
+}  // namespace
+}  // namespace ccdb::lsi

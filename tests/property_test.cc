@@ -1,0 +1,376 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "common/rng.h"
+#include "common/vec.h"
+#include "eval/metrics.h"
+#include "svm/classifier.h"
+#include "db/sql_parser.h"
+#include "factorization/factor_model.h"
+#include "svm/kernel.h"
+
+namespace ccdb {
+namespace {
+
+// ----------------------------------------------------- RNG properties
+
+class RngSeedProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngSeedProperty, UniformMeanNearHalf) {
+  Rng rng(GetParam());
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) sum += rng.Uniform();
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.015);
+}
+
+TEST_P(RngSeedProperty, GaussianSymmetry) {
+  Rng rng(GetParam());
+  int positives = 0;
+  for (int i = 0; i < 20000; ++i) positives += rng.Gaussian() > 0 ? 1 : 0;
+  EXPECT_NEAR(positives / 20000.0, 0.5, 0.02);
+}
+
+TEST_P(RngSeedProperty, SampleWithoutReplacementAlwaysDistinct) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 1 + rng.UniformInt(200);
+    const std::size_t k = rng.UniformInt(n + 1);
+    const auto sample = rng.SampleWithoutReplacement(n, k);
+    std::vector<bool> seen(n, false);
+    for (std::size_t index : sample) {
+      ASSERT_LT(index, n);
+      ASSERT_FALSE(seen[index]);
+      seen[index] = true;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedProperty,
+                         ::testing::Values(1u, 42u, 1234567u, 0xDEADBEEFu,
+                                           987654321987ull));
+
+// ----------------------------------------------------- kernel properties
+
+class KernelProperty
+    : public ::testing::TestWithParam<std::tuple<svm::KernelType, double>> {};
+
+TEST_P(KernelProperty, SymmetryAndDiagonalDominanceForRbf) {
+  const auto [type, gamma] = GetParam();
+  svm::KernelConfig config;
+  config.type = type;
+  config.gamma = gamma;
+  config.coef0 = 1.0;
+  Rng rng(11);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> x(5), y(5);
+    for (int i = 0; i < 5; ++i) {
+      x[i] = rng.Gaussian();
+      y[i] = rng.Gaussian();
+    }
+    // Symmetry K(x,y) = K(y,x).
+    EXPECT_NEAR(svm::EvalKernel(config, x, y), svm::EvalKernel(config, y, x),
+                1e-12);
+    if (type == svm::KernelType::kRbf) {
+      // 0 < K ≤ 1, maximal on the diagonal.
+      const double k = svm::EvalKernel(config, x, y);
+      EXPECT_GT(k, 0.0);
+      EXPECT_LE(k, 1.0);
+      EXPECT_DOUBLE_EQ(svm::EvalKernel(config, x, x), 1.0);
+    }
+  }
+}
+
+TEST_P(KernelProperty, GramMatrixIsPositiveSemidefiniteOnSamples) {
+  const auto [type, gamma] = GetParam();
+  svm::KernelConfig config;
+  config.type = type;
+  config.gamma = gamma;
+  config.coef0 = 1.0;
+  Rng rng(13);
+  const std::size_t n = 8;
+  Matrix points(n, 3);
+  points.FillGaussian(rng, 0.0, 1.0);
+  // For PSD kernels, zᵀKz ≥ 0 for any z.
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> z(n);
+    for (auto& v : z) v = rng.Gaussian();
+    double quadratic_form = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        quadratic_form += z[i] * z[j] *
+                          svm::EvalKernel(config, points.Row(i),
+                                          points.Row(j));
+      }
+    }
+    EXPECT_GE(quadratic_form, -1e-8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kernels, KernelProperty,
+    ::testing::Values(std::make_tuple(svm::KernelType::kLinear, 0.5),
+                      std::make_tuple(svm::KernelType::kRbf, 0.3),
+                      std::make_tuple(svm::KernelType::kRbf, 2.0),
+                      std::make_tuple(svm::KernelType::kPolynomial, 0.5)));
+
+// ----------------------------------------------------- SMO invariants
+
+class SmoInvariantProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(SmoInvariantProperty, KktInvariantsHoldAcrossCosts) {
+  const double cost = GetParam();
+  Rng rng(17);
+  const std::size_t n = 40;
+  Matrix x(n, 2);
+  std::vector<std::int8_t> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.Gaussian(i < n / 2 ? 1.0 : -1.0, 1.0);
+    x(i, 1) = rng.Gaussian(0.0, 1.0);
+    y[i] = i < n / 2 ? 1 : -1;
+  }
+  svm::ClassifierOptions options;
+  options.kernel.type = svm::KernelType::kRbf;
+  options.kernel.gamma = 0.5;
+  options.cost = cost;
+  svm::TrainDiagnostics diagnostics;
+  svm::TrainClassifier(x, y, options, &diagnostics);
+
+  // Box constraint and equality constraint hold for every cost level.
+  double alpha_dot_y = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_GE(diagnostics.alpha[i], -1e-9);
+    EXPECT_LE(diagnostics.alpha[i], cost + 1e-9);
+    alpha_dot_y += diagnostics.alpha[i] * y[i];
+  }
+  EXPECT_NEAR(alpha_dot_y, 0.0, 1e-6);
+  EXPECT_TRUE(diagnostics.converged);
+}
+
+INSTANTIATE_TEST_SUITE_P(Costs, SmoInvariantProperty,
+                         ::testing::Values(0.1, 1.0, 10.0, 100.0));
+
+// ----------------------------------------------------- metric properties
+
+class GMeanProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(GMeanProperty, BoundedAndDegenerateSafe) {
+  const double prevalence = GetParam();
+  Rng rng(23);
+  std::vector<bool> predicted(5000), actual(5000);
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    predicted[i] = rng.Bernoulli(0.5);
+    actual[i] = rng.Bernoulli(prevalence);
+  }
+  const auto counts = eval::CountConfusion(predicted, actual);
+  const double gmean = eval::GMean(counts);
+  EXPECT_GE(gmean, 0.0);
+  EXPECT_LE(gmean, 1.0);
+  // g-mean ≤ accuracy-independent bound: sqrt(sens·spec) ≤ max(sens,spec).
+  EXPECT_LE(gmean, std::max(eval::Sensitivity(counts),
+                            eval::Specificity(counts)) + 1e-12);
+  // For a fair coin both sensitivity and specificity ≈ 0.5 regardless of
+  // prevalence — the imbalance-robustness the paper wants.
+  EXPECT_NEAR(gmean, 0.5, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Prevalences, GMeanProperty,
+                         ::testing::Values(0.05, 0.1, 0.3, 0.5, 0.9));
+
+TEST(GMeanProperty2, PerfectAndInvertedClassifiers) {
+  Rng rng(29);
+  std::vector<bool> actual(1000);
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    actual[i] = rng.Bernoulli(0.2);
+  }
+  std::vector<bool> inverted(actual.size());
+  for (std::size_t i = 0; i < actual.size(); ++i) inverted[i] = !actual[i];
+  EXPECT_DOUBLE_EQ(eval::GMean(eval::CountConfusion(actual, actual)), 1.0);
+  EXPECT_DOUBLE_EQ(eval::GMean(eval::CountConfusion(inverted, actual)), 0.0);
+}
+
+// ----------------------------------------------------- vec properties
+
+class VecProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(VecProperty, CauchySchwarzAndTriangle) {
+  Rng rng(31 + GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> x(GetParam()), y(GetParam());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      x[i] = rng.Gaussian();
+      y[i] = rng.Gaussian();
+    }
+    EXPECT_LE(std::abs(Dot(x, y)), Norm(x) * Norm(y) + 1e-9);
+    std::vector<double> zero(GetParam(), 0.0);
+    EXPECT_LE(Distance(x, y), Distance(x, zero) + Distance(zero, y) + 1e-9);
+    EXPECT_NEAR(SquaredDistance(x, y),
+                SquaredNorm(x) + SquaredNorm(y) - 2.0 * Dot(x, y), 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, VecProperty,
+                         ::testing::Values(1u, 2u, 10u, 100u));
+
+// ----------------------------------------------------- SQL parser fuzz
+
+// Generates a random, grammatically valid SELECT and checks it parses
+// with the expected structure; then mutates it and checks the parser
+// fails cleanly (no crash, error status) on common corruptions.
+class SqlFuzzProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+namespace sqlfuzz {
+
+std::string RandomIdentifier(Rng& rng) {
+  static const char* kNames[] = {"name", "year", "rating", "is_comedy",
+                                 "humor", "cluster", "item_id"};
+  return kNames[rng.UniformInt(std::size(kNames))];
+}
+
+std::string RandomLiteral(Rng& rng) {
+  switch (rng.UniformInt(4)) {
+    case 0: return std::to_string(static_cast<int>(rng.UniformInt(2000)));
+    case 1: return "3.25";
+    case 2: return "'text value'";
+    default: return rng.Bernoulli(0.5) ? "true" : "false";
+  }
+}
+
+std::string RandomComparison(Rng& rng) {
+  static const char* kOps[] = {"=", "!=", "<", "<=", ">", ">="};
+  return RandomIdentifier(rng) + " " + kOps[rng.UniformInt(6)] + " " +
+         RandomLiteral(rng);
+}
+
+std::string RandomExpr(Rng& rng, int depth) {
+  if (depth <= 0 || rng.Bernoulli(0.4)) return RandomComparison(rng);
+  switch (rng.UniformInt(3)) {
+    case 0:
+      return RandomExpr(rng, depth - 1) + " AND " +
+             RandomExpr(rng, depth - 1);
+    case 1:
+      return RandomExpr(rng, depth - 1) + " OR " +
+             RandomExpr(rng, depth - 1);
+    default:
+      return "NOT (" + RandomExpr(rng, depth - 1) + ")";
+  }
+}
+
+std::string RandomSelect(Rng& rng) {
+  std::string sql = "SELECT ";
+  const std::size_t num_items = 1 + rng.UniformInt(3);
+  if (rng.Bernoulli(0.25)) {
+    sql += "*";
+  } else {
+    for (std::size_t i = 0; i < num_items; ++i) {
+      if (i > 0) sql += ", ";
+      if (rng.Bernoulli(0.3)) {
+        static const char* kFuncs[] = {"COUNT", "SUM", "AVG", "MIN", "MAX"};
+        const char* func = kFuncs[rng.UniformInt(5)];
+        sql += std::string(func) + "(" +
+               (std::string(func) == "COUNT" && rng.Bernoulli(0.5)
+                    ? "*"
+                    : RandomIdentifier(rng)) +
+               ")";
+      } else {
+        sql += RandomIdentifier(rng);
+      }
+    }
+  }
+  sql += " FROM movies";
+  if (rng.Bernoulli(0.7)) sql += " WHERE " + RandomExpr(rng, 3);
+  if (rng.Bernoulli(0.3)) sql += " GROUP BY " + RandomIdentifier(rng);
+  if (rng.Bernoulli(0.4)) {
+    sql += " ORDER BY " + RandomIdentifier(rng);
+    if (rng.Bernoulli(0.5)) sql += " DESC";
+  }
+  if (rng.Bernoulli(0.4)) {
+    sql += " LIMIT " + std::to_string(1 + rng.UniformInt(100));
+  }
+  return sql;
+}
+
+}  // namespace sqlfuzz
+
+TEST_P(SqlFuzzProperty, ValidStatementsParse) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::string sql = sqlfuzz::RandomSelect(rng);
+    const auto statement = db::ParseSelect(sql);
+    ASSERT_TRUE(statement.ok())
+        << sql << " → " << statement.status().ToString();
+    EXPECT_EQ(statement.value().table, "movies") << sql;
+  }
+}
+
+TEST_P(SqlFuzzProperty, CorruptedStatementsFailCleanly) {
+  Rng rng(GetParam() + 1);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string sql = sqlfuzz::RandomSelect(rng);
+    // Corrupt: truncate mid-string, inject junk, or drop a keyword.
+    switch (rng.UniformInt(3)) {
+      case 0:
+        sql = sql.substr(0, sql.size() / 2 + 1);
+        break;
+      case 1:
+        sql.insert(rng.UniformInt(sql.size()), "@@");
+        break;
+      default: {
+        const std::size_t from = sql.find("FROM");
+        if (from != std::string::npos) sql = sql.substr(0, from);
+        break;
+      }
+    }
+    // Must not crash; almost every corruption is a parse error, but a
+    // truncation can land on a valid prefix — only require a clean
+    // Status either way.
+    const auto statement = db::ParseSelect(sql);
+    if (!statement.ok()) {
+      EXPECT_EQ(statement.status().code(), StatusCode::kInvalidArgument);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SqlFuzzProperty,
+                         ::testing::Values(1u, 99u, 31337u));
+
+// ----------------------------------------------------- SGD step property
+
+class SgdStepProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SgdStepProperty, SmallStepReducesSingleRatingError) {
+  // For a small enough learning rate, one SGD step on a rating must not
+  // increase that rating's squared error (local descent property).
+  Rng rng(200 + GetParam());
+  std::vector<Rating> ratings;
+  for (int i = 0; i < 50; ++i) {
+    ratings.push_back({static_cast<std::uint32_t>(rng.UniformInt(10)),
+                       static_cast<std::uint32_t>(rng.UniformInt(20)),
+                       static_cast<float>(1.0 + rng.UniformInt(5))});
+  }
+  RatingDataset data(10, 20, ratings);
+  for (auto kind : {factorization::ModelKind::kEuclideanEmbedding,
+                    factorization::ModelKind::kSvdDotProduct}) {
+    factorization::FactorModelConfig config;
+    config.kind = kind;
+    config.dims = 4;
+    config.lambda = 0.0;  // pure error descent
+    config.seed = 300 + GetParam();
+    factorization::FactorModel model(config, data);
+    for (const Rating& rating : data.ratings()) {
+      const double before = rating.score - model.Predict(rating.item,
+                                                         rating.user);
+      model.SgdStep(rating, 1e-4);
+      const double after = rating.score - model.Predict(rating.item,
+                                                        rating.user);
+      ASSERT_LE(after * after, before * before + 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Repetitions, SgdStepProperty,
+                         ::testing::Values(0, 1, 2));
+
+}  // namespace
+}  // namespace ccdb

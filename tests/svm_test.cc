@@ -1,0 +1,452 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "svm/classifier.h"
+#include "svm/kernel.h"
+#include "svm/platt.h"
+#include "svm/svr.h"
+#include "svm/tsvm.h"
+
+namespace ccdb::svm {
+namespace {
+
+// ---------------------------------------------------------------- kernel
+
+TEST(KernelTest, Linear) {
+  KernelConfig config{KernelType::kLinear, 0.0, 3, 0.0};
+  std::vector<double> x = {1.0, 2.0};
+  std::vector<double> y = {3.0, 4.0};
+  EXPECT_DOUBLE_EQ(EvalKernel(config, x, y), 11.0);
+}
+
+TEST(KernelTest, RbfIsOneAtZeroDistance) {
+  KernelConfig config{KernelType::kRbf, 0.5, 3, 0.0};
+  std::vector<double> x = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(EvalKernel(config, x, x), 1.0);
+}
+
+TEST(KernelTest, RbfDecaysWithDistance) {
+  KernelConfig config{KernelType::kRbf, 0.5, 3, 0.0};
+  std::vector<double> x = {0.0};
+  std::vector<double> y = {1.0};
+  std::vector<double> z = {2.0};
+  EXPECT_GT(EvalKernel(config, x, y), EvalKernel(config, x, z));
+  EXPECT_NEAR(EvalKernel(config, x, y), std::exp(-0.5), 1e-12);
+}
+
+TEST(KernelTest, Polynomial) {
+  KernelConfig config{KernelType::kPolynomial, 1.0, 2, 1.0};
+  std::vector<double> x = {1.0, 1.0};
+  std::vector<double> y = {2.0, 0.0};
+  EXPECT_DOUBLE_EQ(EvalKernel(config, x, y), 9.0);  // (2 + 1)^2
+}
+
+TEST(KernelTest, AutoGammaResolution) {
+  KernelConfig config;
+  config.gamma = 0.0;
+  const KernelConfig resolved = ResolveKernel(config, 50);
+  EXPECT_DOUBLE_EQ(resolved.gamma, 0.02);
+  config.gamma = 0.7;
+  EXPECT_DOUBLE_EQ(ResolveKernel(config, 50).gamma, 0.7);
+}
+
+// ---------------------------------------------------------------- C-SVC
+
+Matrix FromRows(const std::vector<std::vector<double>>& rows) {
+  Matrix m(rows.size(), rows.empty() ? 0 : rows[0].size());
+  for (std::size_t i = 0; i < rows.size(); ++i)
+    for (std::size_t j = 0; j < rows[i].size(); ++j) m(i, j) = rows[i][j];
+  return m;
+}
+
+TEST(SvmClassifierTest, LinearlySeparable2D) {
+  const Matrix x = FromRows({{1.0, 1.0},
+                             {2.0, 1.5},
+                             {1.5, 2.0},
+                             {-1.0, -1.0},
+                             {-2.0, -1.5},
+                             {-1.5, -2.0}});
+  const std::vector<std::int8_t> y = {1, 1, 1, -1, -1, -1};
+  ClassifierOptions options;
+  options.kernel.type = KernelType::kLinear;
+  options.cost = 10.0;
+  const SvmModel model = TrainClassifier(x, y, options);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(model.Predict(x.Row(i)), y[i] > 0) << "example " << i;
+  }
+  // Margin property: decision values of +1 side are positive and roughly
+  // symmetric to the −1 side.
+  EXPECT_GT(model.DecisionValue(x.Row(0)), 0.0);
+  EXPECT_LT(model.DecisionValue(x.Row(3)), 0.0);
+}
+
+TEST(SvmClassifierTest, XorRequiresNonLinearKernel) {
+  const Matrix x = FromRows({{0.0, 0.0}, {1.0, 1.0}, {0.0, 1.0}, {1.0, 0.0}});
+  const std::vector<std::int8_t> y = {1, 1, -1, -1};
+  ClassifierOptions options;
+  options.kernel.type = KernelType::kRbf;
+  options.kernel.gamma = 2.0;
+  options.cost = 100.0;
+  const SvmModel model = TrainClassifier(x, y, options);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(model.Predict(x.Row(i)), y[i] > 0) << "example " << i;
+  }
+}
+
+TEST(SvmClassifierTest, RbfGeneralizesOnGaussianBlobs) {
+  Rng rng(81);
+  const std::size_t per_class = 60;
+  Matrix x(2 * per_class, 2);
+  std::vector<std::int8_t> y(2 * per_class);
+  for (std::size_t i = 0; i < 2 * per_class; ++i) {
+    const double cx = i < per_class ? 2.0 : -2.0;
+    x(i, 0) = cx + rng.Gaussian(0.0, 0.8);
+    x(i, 1) = rng.Gaussian(0.0, 0.8);
+    y[i] = i < per_class ? 1 : -1;
+  }
+  ClassifierOptions options;
+  options.kernel.type = KernelType::kRbf;
+  options.kernel.gamma = 0.5;
+  options.cost = 1.0;
+  const SvmModel model = TrainClassifier(x, y, options);
+
+  // Fresh test points from the same distribution.
+  int correct = 0;
+  const int trials = 400;
+  for (int t = 0; t < trials; ++t) {
+    const bool positive = t % 2 == 0;
+    std::vector<double> point = {
+        (positive ? 2.0 : -2.0) + rng.Gaussian(0.0, 0.8),
+        rng.Gaussian(0.0, 0.8)};
+    if (model.Predict(point) == positive) ++correct;
+  }
+  EXPECT_GT(correct, trials * 9 / 10);
+}
+
+TEST(SvmClassifierTest, AlphaRespectsBoxConstraint) {
+  Rng rng(83);
+  Matrix x(40, 2);
+  std::vector<std::int8_t> y(40);
+  for (std::size_t i = 0; i < 40; ++i) {
+    // Overlapping classes force some alphas to the C bound.
+    x(i, 0) = rng.Gaussian(i < 20 ? 0.3 : -0.3, 1.0);
+    x(i, 1) = rng.Gaussian(0.0, 1.0);
+    y[i] = i < 20 ? 1 : -1;
+  }
+  ClassifierOptions options;
+  options.kernel.type = KernelType::kLinear;
+  options.cost = 0.7;
+  TrainDiagnostics diagnostics;
+  TrainClassifier(x, y, options, &diagnostics);
+  double alpha_dot_y = 0.0;
+  for (std::size_t i = 0; i < 40; ++i) {
+    EXPECT_GE(diagnostics.alpha[i], -1e-9);
+    EXPECT_LE(diagnostics.alpha[i], 0.7 + 1e-9);
+    alpha_dot_y += diagnostics.alpha[i] * y[i];
+  }
+  // Equality constraint Σ α_i y_i = 0 must hold at the solution.
+  EXPECT_NEAR(alpha_dot_y, 0.0, 1e-6);
+  EXPECT_TRUE(diagnostics.converged);
+}
+
+TEST(SvmClassifierTest, PerExampleCostScaling) {
+  // With near-zero cost on one side's outlier, the model should tolerate
+  // its misclassification rather than warp the boundary.
+  const Matrix x = FromRows({{1.0, 0.0},
+                             {2.0, 0.0},
+                             {3.0, 0.0},
+                             {-1.0, 0.0},
+                             {-2.0, 0.0},
+                             {10.0, 0.0}});  // mislabeled outlier
+  const std::vector<std::int8_t> y = {1, 1, 1, -1, -1, -1};
+  ClassifierOptions options;
+  options.kernel.type = KernelType::kLinear;
+  options.cost = 10.0;
+  options.example_cost_scale = {1.0, 1.0, 1.0, 1.0, 1.0, 1e-6};
+  const SvmModel model = TrainClassifier(x, y, options);
+  // The outlier at x=10 labeled −1 is ignored; points near it classify +1.
+  std::vector<double> probe = {9.0, 0.0};
+  EXPECT_TRUE(model.Predict(probe));
+}
+
+TEST(SvmClassifierTest, SupportVectorsAreSubset) {
+  Rng rng(87);
+  Matrix x(50, 3);
+  x.FillGaussian(rng, 0.0, 1.0);
+  std::vector<std::int8_t> y(50);
+  for (std::size_t i = 0; i < 50; ++i) y[i] = x(i, 0) > 0 ? 1 : -1;
+  ClassifierOptions options;
+  options.kernel.type = KernelType::kLinear;
+  options.cost = 1.0;
+  const SvmModel model = TrainClassifier(x, y, options);
+  EXPECT_GT(model.num_support_vectors(), 0u);
+  EXPECT_LE(model.num_support_vectors(), 50u);
+}
+
+TEST(SvmClassifierTest, PredictAllMatchesPredict) {
+  Rng rng(89);
+  Matrix x(30, 2);
+  x.FillGaussian(rng, 0.0, 1.0);
+  std::vector<std::int8_t> y(30);
+  for (std::size_t i = 0; i < 30; ++i) y[i] = x(i, 1) > 0 ? 1 : -1;
+  ClassifierOptions options;
+  options.cost = 5.0;
+  const SvmModel model = TrainClassifier(x, y, options);
+  const auto all = model.PredictAll(x);
+  for (std::size_t i = 0; i < 30; ++i) {
+    EXPECT_EQ(all[i], model.Predict(x.Row(i)));
+  }
+}
+
+TEST(SvmModelIoTest, SaveLoadRoundTrip) {
+  Rng rng(111);
+  Matrix x(40, 3);
+  x.FillGaussian(rng, 0.0, 1.0);
+  std::vector<std::int8_t> y(40);
+  for (std::size_t i = 0; i < 40; ++i) y[i] = x(i, 0) > 0 ? 1 : -1;
+  ClassifierOptions options;
+  options.kernel.type = KernelType::kRbf;
+  options.kernel.gamma = 0.7;
+  options.cost = 5.0;
+  const SvmModel model = TrainClassifier(x, y, options);
+
+  const std::string path = ::testing::TempDir() + "/svm_roundtrip.bin";
+  ASSERT_TRUE(model.SaveToFile(path).ok());
+  auto loaded = SvmModel::LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().num_support_vectors(),
+            model.num_support_vectors());
+  EXPECT_DOUBLE_EQ(loaded.value().rho(), model.rho());
+  for (std::size_t i = 0; i < 40; ++i) {
+    EXPECT_DOUBLE_EQ(loaded.value().DecisionValue(x.Row(i)),
+                     model.DecisionValue(x.Row(i)));
+  }
+}
+
+TEST(SvmModelIoTest, LoadRejectsGarbage) {
+  const std::string path = ::testing::TempDir() + "/svm_garbage.bin";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("definitely not an svm", f);
+  std::fclose(f);
+  EXPECT_FALSE(SvmModel::LoadFromFile(path).ok());
+  EXPECT_FALSE(SvmModel::LoadFromFile("/no/such/file").ok());
+}
+
+// ---------------------------------------------------------------- Platt
+
+TEST(PlattScalerTest, CalibratesSeparableScores) {
+  // Decision values strongly correlated with the label: the fitted
+  // sigmoid must be monotone increasing in f and cross 0.5 near 0.
+  Rng rng(113);
+  std::vector<double> decisions;
+  std::vector<std::int8_t> labels;
+  for (int i = 0; i < 400; ++i) {
+    const bool positive = rng.Bernoulli(0.5);
+    decisions.push_back(rng.Gaussian(positive ? 1.5 : -1.5, 0.8));
+    labels.push_back(positive ? 1 : -1);
+  }
+  PlattScaler scaler;
+  ASSERT_TRUE(scaler.Fit(decisions, labels));
+  EXPECT_GT(scaler.Probability(3.0), 0.9);
+  EXPECT_LT(scaler.Probability(-3.0), 0.1);
+  EXPECT_NEAR(scaler.Probability(0.0), 0.5, 0.15);
+  // Monotone in the decision value.
+  double previous = 0.0;
+  for (double f = -4.0; f <= 4.0; f += 0.5) {
+    const double p = scaler.Probability(f);
+    EXPECT_GE(p, previous);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    previous = p;
+  }
+}
+
+TEST(PlattScalerTest, ReflectsClassPrior) {
+  // With mostly-negative data, the probability at f = 0 sits below 0.5.
+  Rng rng(115);
+  std::vector<double> decisions;
+  std::vector<std::int8_t> labels;
+  for (int i = 0; i < 500; ++i) {
+    const bool positive = rng.Bernoulli(0.1);
+    decisions.push_back(rng.Gaussian(positive ? 0.7 : -0.7, 1.2));
+    labels.push_back(positive ? 1 : -1);
+  }
+  PlattScaler scaler;
+  ASSERT_TRUE(scaler.Fit(decisions, labels));
+  EXPECT_LT(scaler.Probability(0.0), 0.45);
+}
+
+TEST(PlattScalerTest, RejectsSingleClass) {
+  PlattScaler scaler;
+  EXPECT_FALSE(scaler.Fit({1.0, 2.0, 3.0}, {1, 1, 1}));
+  EXPECT_FALSE(scaler.fitted());
+}
+
+// ---------------------------------------------------------------- SVR
+
+TEST(SvrTest, FitsLinearFunction) {
+  Matrix x(20, 1);
+  std::vector<double> y(20);
+  for (std::size_t i = 0; i < 20; ++i) {
+    x(i, 0) = static_cast<double>(i) / 10.0;
+    y[i] = 2.0 * x(i, 0) + 1.0;
+  }
+  SvrOptions options;
+  options.kernel.type = KernelType::kLinear;
+  options.cost = 100.0;
+  options.epsilon = 0.01;
+  const SvrModel model = TrainSvr(x, y, options);
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_NEAR(model.Predict(x.Row(i)), y[i], 0.1) << "x=" << x(i, 0);
+  }
+}
+
+TEST(SvrTest, FitsSineWithRbf) {
+  Matrix x(60, 1);
+  std::vector<double> y(60);
+  for (std::size_t i = 0; i < 60; ++i) {
+    x(i, 0) = static_cast<double>(i) / 10.0;
+    y[i] = std::sin(x(i, 0));
+  }
+  SvrOptions options;
+  options.kernel.type = KernelType::kRbf;
+  options.kernel.gamma = 2.0;
+  options.cost = 50.0;
+  options.epsilon = 0.02;
+  const SvrModel model = TrainSvr(x, y, options);
+  double max_error = 0.0;
+  for (std::size_t i = 0; i < 60; ++i) {
+    max_error = std::max(max_error, std::abs(model.Predict(x.Row(i)) - y[i]));
+  }
+  EXPECT_LT(max_error, 0.15);
+}
+
+TEST(SvrTest, EpsilonTubeSuppressesSupportVectors) {
+  Matrix x(30, 1);
+  std::vector<double> y(30);
+  Rng rng(91);
+  for (std::size_t i = 0; i < 30; ++i) {
+    x(i, 0) = static_cast<double>(i) / 5.0;
+    y[i] = 1.0 + rng.Gaussian(0.0, 0.01);  // nearly constant
+  }
+  SvrOptions wide;
+  wide.epsilon = 0.5;  // everything inside the tube → few/no SVs
+  wide.cost = 10.0;
+  const SvrModel wide_model = TrainSvr(x, y, wide);
+  SvrOptions narrow = wide;
+  narrow.epsilon = 0.001;
+  const SvrModel narrow_model = TrainSvr(x, y, narrow);
+  EXPECT_LE(wide_model.num_support_vectors(),
+            narrow_model.num_support_vectors());
+}
+
+TEST(SvrTest, PredictAllMatchesPredict) {
+  Matrix x(15, 1);
+  std::vector<double> y(15);
+  for (std::size_t i = 0; i < 15; ++i) {
+    x(i, 0) = static_cast<double>(i);
+    y[i] = static_cast<double>(i % 4);
+  }
+  SvrOptions options;
+  options.kernel.type = KernelType::kRbf;
+  options.kernel.gamma = 0.5;
+  const SvrModel model = TrainSvr(x, y, options);
+  const auto all = model.PredictAll(x);
+  for (std::size_t i = 0; i < 15; ++i) {
+    EXPECT_DOUBLE_EQ(all[i], model.Predict(x.Row(i)));
+  }
+}
+
+TEST(SvmClassifierTest, IterationCapReportsNonConvergence) {
+  Rng rng(119);
+  Matrix x(60, 2);
+  std::vector<std::int8_t> y(60);
+  for (std::size_t i = 0; i < 60; ++i) {
+    x(i, 0) = rng.Gaussian(0.0, 1.0);  // fully overlapping classes
+    x(i, 1) = rng.Gaussian(0.0, 1.0);
+    y[i] = i < 30 ? 1 : -1;
+  }
+  ClassifierOptions options;
+  options.kernel.type = KernelType::kRbf;
+  options.kernel.gamma = 5.0;
+  options.cost = 100.0;
+  options.smo.max_iterations = 3;  // far too few
+  TrainDiagnostics diagnostics;
+  const SvmModel model = TrainClassifier(x, y, options, &diagnostics);
+  EXPECT_FALSE(diagnostics.converged);
+  EXPECT_TRUE(model.trained());  // still produces a usable model
+}
+
+TEST(SvrTest, ZeroEpsilonInterpolatesCleanData) {
+  Matrix x(10, 1);
+  std::vector<double> y(10);
+  for (std::size_t i = 0; i < 10; ++i) {
+    x(i, 0) = static_cast<double>(i);
+    y[i] = 0.5 * static_cast<double>(i) - 1.0;
+  }
+  SvrOptions options;
+  options.kernel.type = KernelType::kLinear;
+  options.cost = 1000.0;
+  options.epsilon = 0.0;
+  const SvrModel model = TrainSvr(x, y, options);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_NEAR(model.Predict(x.Row(i)), y[i], 0.05);
+  }
+}
+
+// ---------------------------------------------------------------- TSVM
+
+TEST(TsvmTest, UsesUnlabeledStructure) {
+  // Two clusters; only one labeled point per cluster. The inductive SVM
+  // already separates them; the TSVM must not break that and should place
+  // transductive labels consistent with the clusters.
+  Rng rng(93);
+  const std::size_t per_cluster = 25;
+  Matrix unlabeled(2 * per_cluster, 2);
+  for (std::size_t i = 0; i < 2 * per_cluster; ++i) {
+    const double cx = i < per_cluster ? 2.5 : -2.5;
+    unlabeled(i, 0) = cx + rng.Gaussian(0.0, 0.5);
+    unlabeled(i, 1) = rng.Gaussian(0.0, 0.5);
+  }
+  const Matrix labeled = FromRows({{2.5, 0.0}, {-2.5, 0.0}});
+  const std::vector<std::int8_t> labels = {1, -1};
+
+  TsvmOptions options;
+  options.kernel.type = KernelType::kRbf;
+  options.kernel.gamma = 0.3;
+  options.cost = 10.0;
+  options.unlabeled_cost = 10.0;
+  options.positive_fraction = 0.5;
+  TsvmReport report;
+  const SvmModel model = TrainTsvm(labeled, labels, unlabeled, options,
+                                   &report);
+  EXPECT_GE(report.retrains, 2u);
+  int correct = 0;
+  for (std::size_t i = 0; i < 2 * per_cluster; ++i) {
+    const bool expected = i < per_cluster;
+    if (model.Predict(unlabeled.Row(i)) == expected) ++correct;
+    if ((report.transductive_labels[i] == 1) == expected) ++correct;
+  }
+  EXPECT_GT(correct, static_cast<int>(2 * per_cluster * 2 * 9 / 10));
+}
+
+TEST(TsvmTest, ReportCountsRetrains) {
+  Rng rng(95);
+  Matrix unlabeled(20, 2);
+  unlabeled.FillGaussian(rng, 0.0, 1.0);
+  const Matrix labeled = FromRows({{1.0, 0.0}, {-1.0, 0.0}});
+  const std::vector<std::int8_t> labels = {1, -1};
+  TsvmOptions options;
+  options.cost = 1.0;
+  options.unlabeled_cost = 1.0;
+  TsvmReport report;
+  TrainTsvm(labeled, labels, unlabeled, options, &report);
+  EXPECT_EQ(report.transductive_labels.size(), 20u);
+  EXPECT_GE(report.retrains, 2u);  // seed train + ≥1 annealing train
+}
+
+}  // namespace
+}  // namespace ccdb::svm
