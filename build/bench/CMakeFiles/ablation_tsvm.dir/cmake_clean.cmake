@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tsvm.dir/ablation_tsvm.cc.o"
+  "CMakeFiles/ablation_tsvm.dir/ablation_tsvm.cc.o.d"
+  "ablation_tsvm"
+  "ablation_tsvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tsvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_support.dir/bench_common.cc.o"
+  "CMakeFiles/bench_support.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_support.dir/domain_table.cc.o"
+  "CMakeFiles/bench_support.dir/domain_table.cc.o.d"
+  "CMakeFiles/bench_support.dir/figures_common.cc.o"
+  "CMakeFiles/bench_support.dir/figures_common.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

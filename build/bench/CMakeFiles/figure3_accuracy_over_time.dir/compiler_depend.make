@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for figure3_accuracy_over_time.
+# This may be replaced when dependencies are built.

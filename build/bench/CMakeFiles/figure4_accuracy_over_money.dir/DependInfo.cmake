@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/figure4_accuracy_over_money.cc" "bench/CMakeFiles/figure4_accuracy_over_money.dir/figure4_accuracy_over_money.cc.o" "gcc" "bench/CMakeFiles/figure4_accuracy_over_money.dir/figure4_accuracy_over_money.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ccdb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/ccdb_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/crowd/CMakeFiles/ccdb_crowd.dir/DependInfo.cmake"
+  "/root/repo/build/src/lsi/CMakeFiles/ccdb_lsi.dir/DependInfo.cmake"
+  "/root/repo/build/src/svm/CMakeFiles/ccdb_svm.dir/DependInfo.cmake"
+  "/root/repo/build/src/factorization/CMakeFiles/ccdb_factorization.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/ccdb_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/ccdb_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ccdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

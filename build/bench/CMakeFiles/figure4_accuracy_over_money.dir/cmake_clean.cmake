@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure4_accuracy_over_money.dir/figure4_accuracy_over_money.cc.o"
+  "CMakeFiles/figure4_accuracy_over_money.dir/figure4_accuracy_over_money.cc.o.d"
+  "figure4_accuracy_over_money"
+  "figure4_accuracy_over_money.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure4_accuracy_over_money.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

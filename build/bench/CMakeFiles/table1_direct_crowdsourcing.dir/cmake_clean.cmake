@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_direct_crowdsourcing.dir/table1_direct_crowdsourcing.cc.o"
+  "CMakeFiles/table1_direct_crowdsourcing.dir/table1_direct_crowdsourcing.cc.o.d"
+  "table1_direct_crowdsourcing"
+  "table1_direct_crowdsourcing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_direct_crowdsourcing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

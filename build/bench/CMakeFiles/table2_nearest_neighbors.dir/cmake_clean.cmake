@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_nearest_neighbors.dir/table2_nearest_neighbors.cc.o"
+  "CMakeFiles/table2_nearest_neighbors.dir/table2_nearest_neighbors.cc.o.d"
+  "table2_nearest_neighbors"
+  "table2_nearest_neighbors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_nearest_neighbors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

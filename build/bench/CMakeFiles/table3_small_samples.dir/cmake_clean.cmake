@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_small_samples.dir/table3_small_samples.cc.o"
+  "CMakeFiles/table3_small_samples.dir/table3_small_samples.cc.o.d"
+  "table3_small_samples"
+  "table3_small_samples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_small_samples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

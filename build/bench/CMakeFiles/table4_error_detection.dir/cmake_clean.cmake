@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_error_detection.dir/table4_error_detection.cc.o"
+  "CMakeFiles/table4_error_detection.dir/table4_error_detection.cc.o.d"
+  "table4_error_detection"
+  "table4_error_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_error_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

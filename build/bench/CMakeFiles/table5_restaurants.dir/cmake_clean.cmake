@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_restaurants.dir/table5_restaurants.cc.o"
+  "CMakeFiles/table5_restaurants.dir/table5_restaurants.cc.o.d"
+  "table5_restaurants"
+  "table5_restaurants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_restaurants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

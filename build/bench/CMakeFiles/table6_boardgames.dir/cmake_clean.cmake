@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_boardgames.dir/table6_boardgames.cc.o"
+  "CMakeFiles/table6_boardgames.dir/table6_boardgames.cc.o.d"
+  "table6_boardgames"
+  "table6_boardgames.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_boardgames.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowd_shell.dir/crowd_shell.cpp.o"
+  "CMakeFiles/crowd_shell.dir/crowd_shell.cpp.o.d"
+  "crowd_shell"
+  "crowd_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowd_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/movie_query.dir/movie_query.cpp.o"
+  "CMakeFiles/movie_query.dir/movie_query.cpp.o.d"
+  "movie_query"
+  "movie_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/movie_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

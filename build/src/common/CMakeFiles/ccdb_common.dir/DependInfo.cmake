@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/cholesky.cc" "src/common/CMakeFiles/ccdb_common.dir/cholesky.cc.o" "gcc" "src/common/CMakeFiles/ccdb_common.dir/cholesky.cc.o.d"
+  "/root/repo/src/common/csv.cc" "src/common/CMakeFiles/ccdb_common.dir/csv.cc.o" "gcc" "src/common/CMakeFiles/ccdb_common.dir/csv.cc.o.d"
+  "/root/repo/src/common/eigen_sym.cc" "src/common/CMakeFiles/ccdb_common.dir/eigen_sym.cc.o" "gcc" "src/common/CMakeFiles/ccdb_common.dir/eigen_sym.cc.o.d"
+  "/root/repo/src/common/matrix.cc" "src/common/CMakeFiles/ccdb_common.dir/matrix.cc.o" "gcc" "src/common/CMakeFiles/ccdb_common.dir/matrix.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/common/CMakeFiles/ccdb_common.dir/rng.cc.o" "gcc" "src/common/CMakeFiles/ccdb_common.dir/rng.cc.o.d"
+  "/root/repo/src/common/sparse.cc" "src/common/CMakeFiles/ccdb_common.dir/sparse.cc.o" "gcc" "src/common/CMakeFiles/ccdb_common.dir/sparse.cc.o.d"
+  "/root/repo/src/common/table_printer.cc" "src/common/CMakeFiles/ccdb_common.dir/table_printer.cc.o" "gcc" "src/common/CMakeFiles/ccdb_common.dir/table_printer.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "src/common/CMakeFiles/ccdb_common.dir/thread_pool.cc.o" "gcc" "src/common/CMakeFiles/ccdb_common.dir/thread_pool.cc.o.d"
+  "/root/repo/src/common/vec.cc" "src/common/CMakeFiles/ccdb_common.dir/vec.cc.o" "gcc" "src/common/CMakeFiles/ccdb_common.dir/vec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccdb_common.dir/cholesky.cc.o"
+  "CMakeFiles/ccdb_common.dir/cholesky.cc.o.d"
+  "CMakeFiles/ccdb_common.dir/csv.cc.o"
+  "CMakeFiles/ccdb_common.dir/csv.cc.o.d"
+  "CMakeFiles/ccdb_common.dir/eigen_sym.cc.o"
+  "CMakeFiles/ccdb_common.dir/eigen_sym.cc.o.d"
+  "CMakeFiles/ccdb_common.dir/matrix.cc.o"
+  "CMakeFiles/ccdb_common.dir/matrix.cc.o.d"
+  "CMakeFiles/ccdb_common.dir/rng.cc.o"
+  "CMakeFiles/ccdb_common.dir/rng.cc.o.d"
+  "CMakeFiles/ccdb_common.dir/sparse.cc.o"
+  "CMakeFiles/ccdb_common.dir/sparse.cc.o.d"
+  "CMakeFiles/ccdb_common.dir/table_printer.cc.o"
+  "CMakeFiles/ccdb_common.dir/table_printer.cc.o.d"
+  "CMakeFiles/ccdb_common.dir/thread_pool.cc.o"
+  "CMakeFiles/ccdb_common.dir/thread_pool.cc.o.d"
+  "CMakeFiles/ccdb_common.dir/vec.cc.o"
+  "CMakeFiles/ccdb_common.dir/vec.cc.o.d"
+  "libccdb_common.a"
+  "libccdb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccdb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

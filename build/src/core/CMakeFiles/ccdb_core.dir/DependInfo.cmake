@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/expansion.cc" "src/core/CMakeFiles/ccdb_core.dir/expansion.cc.o" "gcc" "src/core/CMakeFiles/ccdb_core.dir/expansion.cc.o.d"
+  "/root/repo/src/core/extractor.cc" "src/core/CMakeFiles/ccdb_core.dir/extractor.cc.o" "gcc" "src/core/CMakeFiles/ccdb_core.dir/extractor.cc.o.d"
+  "/root/repo/src/core/perceptual_space.cc" "src/core/CMakeFiles/ccdb_core.dir/perceptual_space.cc.o" "gcc" "src/core/CMakeFiles/ccdb_core.dir/perceptual_space.cc.o.d"
+  "/root/repo/src/core/policy.cc" "src/core/CMakeFiles/ccdb_core.dir/policy.cc.o" "gcc" "src/core/CMakeFiles/ccdb_core.dir/policy.cc.o.d"
+  "/root/repo/src/core/quality.cc" "src/core/CMakeFiles/ccdb_core.dir/quality.cc.o" "gcc" "src/core/CMakeFiles/ccdb_core.dir/quality.cc.o.d"
+  "/root/repo/src/core/resolver.cc" "src/core/CMakeFiles/ccdb_core.dir/resolver.cc.o" "gcc" "src/core/CMakeFiles/ccdb_core.dir/resolver.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ccdb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crowd/CMakeFiles/ccdb_crowd.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/ccdb_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/ccdb_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/factorization/CMakeFiles/ccdb_factorization.dir/DependInfo.cmake"
+  "/root/repo/build/src/svm/CMakeFiles/ccdb_svm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

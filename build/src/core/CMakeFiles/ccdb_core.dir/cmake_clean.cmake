@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccdb_core.dir/expansion.cc.o"
+  "CMakeFiles/ccdb_core.dir/expansion.cc.o.d"
+  "CMakeFiles/ccdb_core.dir/extractor.cc.o"
+  "CMakeFiles/ccdb_core.dir/extractor.cc.o.d"
+  "CMakeFiles/ccdb_core.dir/perceptual_space.cc.o"
+  "CMakeFiles/ccdb_core.dir/perceptual_space.cc.o.d"
+  "CMakeFiles/ccdb_core.dir/policy.cc.o"
+  "CMakeFiles/ccdb_core.dir/policy.cc.o.d"
+  "CMakeFiles/ccdb_core.dir/quality.cc.o"
+  "CMakeFiles/ccdb_core.dir/quality.cc.o.d"
+  "CMakeFiles/ccdb_core.dir/resolver.cc.o"
+  "CMakeFiles/ccdb_core.dir/resolver.cc.o.d"
+  "libccdb_core.a"
+  "libccdb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccdb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crowd/aggregation.cc" "src/crowd/CMakeFiles/ccdb_crowd.dir/aggregation.cc.o" "gcc" "src/crowd/CMakeFiles/ccdb_crowd.dir/aggregation.cc.o.d"
+  "/root/repo/src/crowd/em_aggregation.cc" "src/crowd/CMakeFiles/ccdb_crowd.dir/em_aggregation.cc.o" "gcc" "src/crowd/CMakeFiles/ccdb_crowd.dir/em_aggregation.cc.o.d"
+  "/root/repo/src/crowd/experiments.cc" "src/crowd/CMakeFiles/ccdb_crowd.dir/experiments.cc.o" "gcc" "src/crowd/CMakeFiles/ccdb_crowd.dir/experiments.cc.o.d"
+  "/root/repo/src/crowd/platform.cc" "src/crowd/CMakeFiles/ccdb_crowd.dir/platform.cc.o" "gcc" "src/crowd/CMakeFiles/ccdb_crowd.dir/platform.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ccdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccdb_crowd.dir/aggregation.cc.o"
+  "CMakeFiles/ccdb_crowd.dir/aggregation.cc.o.d"
+  "CMakeFiles/ccdb_crowd.dir/em_aggregation.cc.o"
+  "CMakeFiles/ccdb_crowd.dir/em_aggregation.cc.o.d"
+  "CMakeFiles/ccdb_crowd.dir/experiments.cc.o"
+  "CMakeFiles/ccdb_crowd.dir/experiments.cc.o.d"
+  "CMakeFiles/ccdb_crowd.dir/platform.cc.o"
+  "CMakeFiles/ccdb_crowd.dir/platform.cc.o.d"
+  "libccdb_crowd.a"
+  "libccdb_crowd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccdb_crowd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

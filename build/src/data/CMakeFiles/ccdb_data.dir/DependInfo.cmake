@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/domains.cc" "src/data/CMakeFiles/ccdb_data.dir/domains.cc.o" "gcc" "src/data/CMakeFiles/ccdb_data.dir/domains.cc.o.d"
+  "/root/repo/src/data/expert_sources.cc" "src/data/CMakeFiles/ccdb_data.dir/expert_sources.cc.o" "gcc" "src/data/CMakeFiles/ccdb_data.dir/expert_sources.cc.o.d"
+  "/root/repo/src/data/metadata.cc" "src/data/CMakeFiles/ccdb_data.dir/metadata.cc.o" "gcc" "src/data/CMakeFiles/ccdb_data.dir/metadata.cc.o.d"
+  "/root/repo/src/data/ratings_io.cc" "src/data/CMakeFiles/ccdb_data.dir/ratings_io.cc.o" "gcc" "src/data/CMakeFiles/ccdb_data.dir/ratings_io.cc.o.d"
+  "/root/repo/src/data/synthetic_world.cc" "src/data/CMakeFiles/ccdb_data.dir/synthetic_world.cc.o" "gcc" "src/data/CMakeFiles/ccdb_data.dir/synthetic_world.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ccdb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/lsi/CMakeFiles/ccdb_lsi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

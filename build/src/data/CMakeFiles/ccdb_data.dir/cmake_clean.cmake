@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccdb_data.dir/domains.cc.o"
+  "CMakeFiles/ccdb_data.dir/domains.cc.o.d"
+  "CMakeFiles/ccdb_data.dir/expert_sources.cc.o"
+  "CMakeFiles/ccdb_data.dir/expert_sources.cc.o.d"
+  "CMakeFiles/ccdb_data.dir/metadata.cc.o"
+  "CMakeFiles/ccdb_data.dir/metadata.cc.o.d"
+  "CMakeFiles/ccdb_data.dir/ratings_io.cc.o"
+  "CMakeFiles/ccdb_data.dir/ratings_io.cc.o.d"
+  "CMakeFiles/ccdb_data.dir/synthetic_world.cc.o"
+  "CMakeFiles/ccdb_data.dir/synthetic_world.cc.o.d"
+  "libccdb_data.a"
+  "libccdb_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccdb_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/db/database.cc" "src/db/CMakeFiles/ccdb_db.dir/database.cc.o" "gcc" "src/db/CMakeFiles/ccdb_db.dir/database.cc.o.d"
+  "/root/repo/src/db/sql_parser.cc" "src/db/CMakeFiles/ccdb_db.dir/sql_parser.cc.o" "gcc" "src/db/CMakeFiles/ccdb_db.dir/sql_parser.cc.o.d"
+  "/root/repo/src/db/table.cc" "src/db/CMakeFiles/ccdb_db.dir/table.cc.o" "gcc" "src/db/CMakeFiles/ccdb_db.dir/table.cc.o.d"
+  "/root/repo/src/db/table_io.cc" "src/db/CMakeFiles/ccdb_db.dir/table_io.cc.o" "gcc" "src/db/CMakeFiles/ccdb_db.dir/table_io.cc.o.d"
+  "/root/repo/src/db/value.cc" "src/db/CMakeFiles/ccdb_db.dir/value.cc.o" "gcc" "src/db/CMakeFiles/ccdb_db.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ccdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

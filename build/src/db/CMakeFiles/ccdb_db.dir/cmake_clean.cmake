@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccdb_db.dir/database.cc.o"
+  "CMakeFiles/ccdb_db.dir/database.cc.o.d"
+  "CMakeFiles/ccdb_db.dir/sql_parser.cc.o"
+  "CMakeFiles/ccdb_db.dir/sql_parser.cc.o.d"
+  "CMakeFiles/ccdb_db.dir/table.cc.o"
+  "CMakeFiles/ccdb_db.dir/table.cc.o.d"
+  "CMakeFiles/ccdb_db.dir/table_io.cc.o"
+  "CMakeFiles/ccdb_db.dir/table_io.cc.o.d"
+  "CMakeFiles/ccdb_db.dir/value.cc.o"
+  "CMakeFiles/ccdb_db.dir/value.cc.o.d"
+  "libccdb_db.a"
+  "libccdb_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccdb_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccdb_eval.dir/metrics.cc.o"
+  "CMakeFiles/ccdb_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/ccdb_eval.dir/neighbors.cc.o"
+  "CMakeFiles/ccdb_eval.dir/neighbors.cc.o.d"
+  "libccdb_eval.a"
+  "libccdb_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccdb_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

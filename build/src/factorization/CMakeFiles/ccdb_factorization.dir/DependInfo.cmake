@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/factorization/als_trainer.cc" "src/factorization/CMakeFiles/ccdb_factorization.dir/als_trainer.cc.o" "gcc" "src/factorization/CMakeFiles/ccdb_factorization.dir/als_trainer.cc.o.d"
+  "/root/repo/src/factorization/factor_model.cc" "src/factorization/CMakeFiles/ccdb_factorization.dir/factor_model.cc.o" "gcc" "src/factorization/CMakeFiles/ccdb_factorization.dir/factor_model.cc.o.d"
+  "/root/repo/src/factorization/parallel_sgd.cc" "src/factorization/CMakeFiles/ccdb_factorization.dir/parallel_sgd.cc.o" "gcc" "src/factorization/CMakeFiles/ccdb_factorization.dir/parallel_sgd.cc.o.d"
+  "/root/repo/src/factorization/recommender.cc" "src/factorization/CMakeFiles/ccdb_factorization.dir/recommender.cc.o" "gcc" "src/factorization/CMakeFiles/ccdb_factorization.dir/recommender.cc.o.d"
+  "/root/repo/src/factorization/sgd_trainer.cc" "src/factorization/CMakeFiles/ccdb_factorization.dir/sgd_trainer.cc.o" "gcc" "src/factorization/CMakeFiles/ccdb_factorization.dir/sgd_trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ccdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

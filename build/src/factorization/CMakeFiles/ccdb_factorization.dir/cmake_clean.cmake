@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccdb_factorization.dir/als_trainer.cc.o"
+  "CMakeFiles/ccdb_factorization.dir/als_trainer.cc.o.d"
+  "CMakeFiles/ccdb_factorization.dir/factor_model.cc.o"
+  "CMakeFiles/ccdb_factorization.dir/factor_model.cc.o.d"
+  "CMakeFiles/ccdb_factorization.dir/parallel_sgd.cc.o"
+  "CMakeFiles/ccdb_factorization.dir/parallel_sgd.cc.o.d"
+  "CMakeFiles/ccdb_factorization.dir/recommender.cc.o"
+  "CMakeFiles/ccdb_factorization.dir/recommender.cc.o.d"
+  "CMakeFiles/ccdb_factorization.dir/sgd_trainer.cc.o"
+  "CMakeFiles/ccdb_factorization.dir/sgd_trainer.cc.o.d"
+  "libccdb_factorization.a"
+  "libccdb_factorization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccdb_factorization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

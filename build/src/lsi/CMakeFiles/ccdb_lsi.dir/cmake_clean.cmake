@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccdb_lsi.dir/lsi.cc.o"
+  "CMakeFiles/ccdb_lsi.dir/lsi.cc.o.d"
+  "libccdb_lsi.a"
+  "libccdb_lsi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccdb_lsi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/svm/classifier.cc" "src/svm/CMakeFiles/ccdb_svm.dir/classifier.cc.o" "gcc" "src/svm/CMakeFiles/ccdb_svm.dir/classifier.cc.o.d"
+  "/root/repo/src/svm/kernel.cc" "src/svm/CMakeFiles/ccdb_svm.dir/kernel.cc.o" "gcc" "src/svm/CMakeFiles/ccdb_svm.dir/kernel.cc.o.d"
+  "/root/repo/src/svm/platt.cc" "src/svm/CMakeFiles/ccdb_svm.dir/platt.cc.o" "gcc" "src/svm/CMakeFiles/ccdb_svm.dir/platt.cc.o.d"
+  "/root/repo/src/svm/smo_solver.cc" "src/svm/CMakeFiles/ccdb_svm.dir/smo_solver.cc.o" "gcc" "src/svm/CMakeFiles/ccdb_svm.dir/smo_solver.cc.o.d"
+  "/root/repo/src/svm/svr.cc" "src/svm/CMakeFiles/ccdb_svm.dir/svr.cc.o" "gcc" "src/svm/CMakeFiles/ccdb_svm.dir/svr.cc.o.d"
+  "/root/repo/src/svm/tsvm.cc" "src/svm/CMakeFiles/ccdb_svm.dir/tsvm.cc.o" "gcc" "src/svm/CMakeFiles/ccdb_svm.dir/tsvm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ccdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

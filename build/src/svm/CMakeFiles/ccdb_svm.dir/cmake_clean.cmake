@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccdb_svm.dir/classifier.cc.o"
+  "CMakeFiles/ccdb_svm.dir/classifier.cc.o.d"
+  "CMakeFiles/ccdb_svm.dir/kernel.cc.o"
+  "CMakeFiles/ccdb_svm.dir/kernel.cc.o.d"
+  "CMakeFiles/ccdb_svm.dir/platt.cc.o"
+  "CMakeFiles/ccdb_svm.dir/platt.cc.o.d"
+  "CMakeFiles/ccdb_svm.dir/smo_solver.cc.o"
+  "CMakeFiles/ccdb_svm.dir/smo_solver.cc.o.d"
+  "CMakeFiles/ccdb_svm.dir/svr.cc.o"
+  "CMakeFiles/ccdb_svm.dir/svr.cc.o.d"
+  "CMakeFiles/ccdb_svm.dir/tsvm.cc.o"
+  "CMakeFiles/ccdb_svm.dir/tsvm.cc.o.d"
+  "libccdb_svm.a"
+  "libccdb_svm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccdb_svm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/factorization_test.dir/factorization_test.cc.o"
+  "CMakeFiles/factorization_test.dir/factorization_test.cc.o.d"
+  "factorization_test"
+  "factorization_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/factorization_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
