@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Builds the tree with AddressSanitizer + UndefinedBehaviorSanitizer and
+# runs the tier-1 test suite under them, so the crowd fault paths (fault
+# injection, dispatcher reposting, budget-capped expansion) are exercised
+# sanitized. Usage: scripts/check_asan.sh [extra ctest args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if cmake --preset asan >/dev/null 2>&1; then
+  cmake --build --preset asan -j "$(nproc)"
+  ctest --preset asan -j "$(nproc)" "$@"
+else
+  # Older CMake without preset support: configure by hand.
+  cmake -B build-asan -S . \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=undefined -fno-omit-frame-pointer -O1" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+  cmake --build build-asan -j "$(nproc)"
+  ctest --test-dir build-asan --output-on-failure -j "$(nproc)" "$@"
+fi

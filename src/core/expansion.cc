@@ -1,10 +1,41 @@
 #include "core/expansion.h"
 
 #include <algorithm>
+#include <string>
+#include <unordered_set>
 
 #include "common/check.h"
 
 namespace ccdb::core {
+namespace {
+
+/// Builds the majority-vote training set over `sample_items` from a
+/// judgment stream, returning items/labels plus the per-item classification.
+struct TrainingSet {
+  std::vector<std::uint32_t> items;
+  std::vector<bool> labels;
+  std::vector<std::optional<bool>> classification;
+  bool has_positive = false;
+  bool has_negative = false;
+};
+
+TrainingSet BuildTrainingSet(const std::vector<crowd::Judgment>& judgments,
+                             const std::vector<std::uint32_t>& sample_items,
+                             double up_to_minutes) {
+  TrainingSet set;
+  set.classification =
+      crowd::MajorityVote(judgments, sample_items.size(), up_to_minutes);
+  for (std::size_t i = 0; i < sample_items.size(); ++i) {
+    if (set.classification[i].has_value()) {
+      set.items.push_back(sample_items[i]);
+      set.labels.push_back(*set.classification[i]);
+      (*set.classification[i] ? set.has_positive : set.has_negative) = true;
+    }
+  }
+  return set;
+}
+
+}  // namespace
 
 std::vector<ExpansionCheckpoint> RunIncrementalExpansion(
     const PerceptualSpace& space,
@@ -44,10 +75,41 @@ std::vector<ExpansionCheckpoint> RunIncrementalExpansion(
         checkpoint.extracted[i] = extractor.Extract(space, sample_items[i]);
       }
     }
+    // Budget caps: keep the checkpoint that crossed the cap (it reflects
+    // the last money actually spent), then stop — partial results beat
+    // none when the crowd run outlives its budget.
+    const bool over_budget = checkpoint.dollars_spent > options.max_dollars ||
+                             now >= options.max_minutes;
     checkpoints.push_back(std::move(checkpoint));
-    if (now >= total_minutes) break;
+    if (now >= total_minutes || over_budget) break;
   }
   return checkpoints;
+}
+
+StatusOr<std::vector<ExpansionCheckpoint>> RunIncrementalExpansionChecked(
+    const PerceptualSpace& space,
+    const std::vector<std::uint32_t>& sample_items,
+    const std::vector<crowd::Judgment>& judgments, double total_minutes,
+    const IncrementalExpansionOptions& options) {
+  if (!(options.checkpoint_interval_minutes > 0.0)) {
+    return Status::InvalidArgument(
+        "checkpoint_interval_minutes must be > 0");
+  }
+  if (sample_items.empty()) {
+    return Status::InvalidArgument("sample_items is empty");
+  }
+  if (!(total_minutes >= 0.0)) {
+    return Status::InvalidArgument("total_minutes must be >= 0");
+  }
+  for (const crowd::Judgment& judgment : judgments) {
+    if (!judgment.is_gold && judgment.item >= sample_items.size()) {
+      return Status::OutOfRange(
+          "judgment references item " + std::to_string(judgment.item) +
+          " outside the sample of " + std::to_string(sample_items.size()));
+    }
+  }
+  return RunIncrementalExpansion(space, sample_items, judgments,
+                                 total_minutes, options);
 }
 
 SchemaExpansionResult ExpandSchema(const PerceptualSpace& space,
@@ -64,24 +126,151 @@ SchemaExpansionResult ExpandSchema(const PerceptualSpace& space,
   result.crowd_minutes = run.total_minutes;
   result.crowd_dollars = run.total_cost_dollars;
 
-  const auto classification = crowd::MajorityVote(
-      run.judgments, request.gold_sample_items.size(), run.total_minutes);
-  std::vector<std::uint32_t> training_items;
-  std::vector<bool> training_labels;
-  for (std::size_t i = 0; i < classification.size(); ++i) {
-    if (classification[i].has_value()) {
-      training_items.push_back(request.gold_sample_items[i]);
-      training_labels.push_back(*classification[i]);
-    }
-  }
-  result.gold_sample_classified = training_items.size();
+  const TrainingSet training = BuildTrainingSet(
+      run.judgments, request.gold_sample_items, run.total_minutes);
+  result.gold_sample_classified = training.items.size();
 
   BinaryAttributeExtractor extractor(request.extractor);
-  if (!extractor.Train(space, training_items, training_labels)) {
+  if (!extractor.Train(space, training.items, training.labels)) {
+    result.status = Status::FailedPrecondition(
+        "crowd gold sample for '" + request.attribute_name +
+        "' did not yield two classes (" +
+        std::to_string(training.items.size()) + " classified)");
     return result;  // success stays false
   }
   result.values = extractor.ExtractAll(space);
   result.success = true;
+  result.status = Status::Ok();
+  return result;
+}
+
+SchemaExpansionResult ExpandSchemaResilient(
+    const PerceptualSpace& space, const SchemaExpansionRequest& request,
+    const crowd::WorkerPool& pool, const crowd::HitRunConfig& hit_config,
+    const std::vector<bool>& sample_truth,
+    const ResilientExpansionOptions& options) {
+  SchemaExpansionResult result;
+  if (request.gold_sample_items.size() != sample_truth.size()) {
+    result.status = Status::InvalidArgument(
+        "gold_sample_items and sample_truth sizes differ (" +
+        std::to_string(request.gold_sample_items.size()) + " vs " +
+        std::to_string(sample_truth.size()) + ")");
+    return result;
+  }
+  if (request.gold_sample_items.empty()) {
+    result.status = Status::InvalidArgument("gold sample is empty");
+    return result;
+  }
+  if (options.topup_judgments_per_item == 0 && options.max_topups > 0) {
+    result.status =
+        Status::InvalidArgument("topup_judgments_per_item must be > 0");
+    return result;
+  }
+
+  const crowd::Dispatcher dispatcher(pool, options.dispatcher);
+  auto dispatched = dispatcher.Run(sample_truth, hit_config);
+  if (!dispatched.ok()) {
+    result.status = dispatched.status();
+    return result;
+  }
+  // The accumulated judgment stream; (worker, item) pairs already judged
+  // are tracked so top-up rounds cannot double-count a vote.
+  std::vector<crowd::Judgment> judgments =
+      std::move(dispatched.value().judgments);
+  std::unordered_set<std::uint64_t> voted;
+  for (const crowd::Judgment& judgment : judgments) {
+    if (judgment.is_gold) continue;
+    voted.insert((static_cast<std::uint64_t>(judgment.worker) << 32) |
+                 judgment.item);
+  }
+  result.crowd_minutes = dispatched.value().total_minutes;
+  result.crowd_dollars = dispatched.value().total_cost_dollars;
+  result.dispatch = dispatched.value().stats;
+
+  TrainingSet training =
+      BuildTrainingSet(judgments, request.gold_sample_items,
+                       std::numeric_limits<double>::infinity());
+
+  // One-class (or empty) gold sample: instead of failing, issue a targeted
+  // top-up for the items the crowd left unclassified — ties and no-vote
+  // items are exactly where the missing class is most likely hiding.
+  for (std::size_t round = 1;
+       round <= options.max_topups &&
+       !(training.has_positive && training.has_negative);
+       ++round) {
+    std::vector<std::uint32_t> unresolved;  // sample-local indices
+    for (std::size_t i = 0; i < request.gold_sample_items.size(); ++i) {
+      if (!training.classification[i].has_value()) {
+        unresolved.push_back(static_cast<std::uint32_t>(i));
+      }
+    }
+    if (unresolved.empty()) break;  // unanimously one class: nothing to probe
+
+    const double remaining_dollars =
+        options.dispatcher.max_dollars - result.crowd_dollars;
+    if (remaining_dollars <= 0.0) {
+      result.dispatch.budget_exhausted = true;
+      break;
+    }
+    crowd::DispatcherConfig topup_config = options.dispatcher;
+    topup_config.max_dollars = remaining_dollars;
+
+    crowd::HitRunConfig topup = hit_config;
+    topup.judgments_per_item = options.topup_judgments_per_item;
+    topup.num_gold_questions = 0;
+    topup.seed = hit_config.seed + 0xC2B2AE35ull * round;
+    topup.fault.seed = hit_config.fault.seed + 0x27D4EB2Full * round;
+
+    std::vector<bool> topup_truth(unresolved.size());
+    for (std::size_t i = 0; i < unresolved.size(); ++i) {
+      topup_truth[i] = sample_truth[unresolved[i]];
+    }
+    const crowd::Dispatcher topup_dispatcher(pool, topup_config);
+    auto extra = topup_dispatcher.Run(topup_truth, topup);
+    if (!extra.ok()) {
+      result.status = extra.status();
+      return result;
+    }
+    ++result.topup_rounds;
+    const double offset = result.crowd_minutes;
+    for (crowd::Judgment judgment : extra.value().judgments) {
+      if (judgment.is_gold) continue;
+      judgment.item = unresolved[judgment.item];
+      judgment.timestamp_minutes += offset;
+      if (!voted
+               .insert((static_cast<std::uint64_t>(judgment.worker) << 32) |
+                       judgment.item)
+               .second) {
+        continue;  // this worker already voted on this item earlier
+      }
+      judgments.push_back(judgment);
+    }
+    result.crowd_minutes += extra.value().total_minutes;
+    result.crowd_dollars += extra.value().total_cost_dollars;
+    result.dispatch.MergeFrom(extra.value().stats);
+
+    training = BuildTrainingSet(judgments, request.gold_sample_items,
+                                std::numeric_limits<double>::infinity());
+  }
+
+  result.gold_sample_classified = training.items.size();
+  BinaryAttributeExtractor extractor(request.extractor);
+  if (!extractor.Train(space, training.items, training.labels)) {
+    if (result.dispatch.budget_exhausted) {
+      result.status = Status::OutOfRange(
+          "budget exhausted before the gold sample for '" +
+          request.attribute_name + "' yielded two classes");
+    } else {
+      result.status = Status::FailedPrecondition(
+          "crowd gold sample for '" + request.attribute_name +
+          "' did not yield two classes after " +
+          std::to_string(result.topup_rounds) + " top-up round(s)");
+    }
+    return result;
+  }
+  result.values = extractor.ExtractAll(space);
+  result.success = true;
+  result.status = Status::Ok();
   return result;
 }
 

@@ -2,13 +2,16 @@
 #define CCDB_CORE_EXPANSION_H_
 
 #include <cstdint>
+#include <limits>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "core/extractor.h"
 #include "core/perceptual_space.h"
 #include "crowd/aggregation.h"
+#include "crowd/dispatcher.h"
 #include "crowd/platform.h"
 
 namespace ccdb::core {
@@ -34,6 +37,12 @@ struct IncrementalExpansionOptions {
   /// the crowd-workers are added to [the training set]" (Experiment 4).
   double checkpoint_interval_minutes = 5.0;
   ExtractorOptions extractor;
+  /// Hard budget caps (graceful degradation): checkpointing stops at the
+  /// first checkpoint that crosses either cap, keeping every checkpoint
+  /// produced so far — best-effort partial results instead of a crash or
+  /// an empty answer. Infinity (the default) disables the cap.
+  double max_dollars = std::numeric_limits<double>::infinity();
+  double max_minutes = std::numeric_limits<double>::infinity();
 };
 
 /// Replays a crowd judgment stream over the sample `sample_items` (crowd
@@ -46,6 +55,15 @@ std::vector<ExpansionCheckpoint> RunIncrementalExpansion(
     const std::vector<std::uint32_t>& sample_items,
     const std::vector<crowd::Judgment>& judgments,
     double total_minutes, const IncrementalExpansionOptions& options);
+
+/// Status-returning variant: invalid inputs (empty sample, non-positive
+/// interval, judgments referencing items outside the sample) come back as
+/// InvalidArgument instead of aborting the process.
+StatusOr<std::vector<ExpansionCheckpoint>> RunIncrementalExpansionChecked(
+    const PerceptualSpace& space,
+    const std::vector<std::uint32_t>& sample_items,
+    const std::vector<crowd::Judgment>& judgments, double total_minutes,
+    const IncrementalExpansionOptions& options);
 
 /// End-to-end schema expansion (the Figure 2 workflow): crowd-source a
 /// gold sample for the new attribute, train the extractor, and return
@@ -66,6 +84,25 @@ struct SchemaExpansionResult {
   double crowd_dollars = 0.0;
   std::size_t gold_sample_classified = 0;
   bool success = false;
+  /// Why the expansion failed (or Ok) — success is status.ok(), kept as a
+  /// bool for existing call sites.
+  Status status = Status::FailedPrecondition("expansion not run");
+  /// Dispatch accounting (zeroed for the plain ExpandSchema path).
+  crowd::DispatchStats dispatch;
+  /// One-class recovery rounds issued by the resilient path.
+  std::size_t topup_rounds = 0;
+};
+
+/// Policy of the fault-tolerant expansion path.
+struct ResilientExpansionOptions {
+  /// Dispatcher policy (deadlines, reposts, budget caps). The dollar /
+  /// minute caps bound the *whole* expansion including top-up rounds.
+  crowd::DispatcherConfig dispatcher;
+  /// One-class gold-sample recovery: when the crowd returns a single
+  /// class, re-dispatch the still-unclassified items (a targeted top-up)
+  /// with this many judgments each instead of failing outright.
+  std::size_t topup_judgments_per_item = 7;
+  std::size_t max_topups = 1;
 };
 
 /// Runs the full pipeline: dispatch the gold sample to `pool` under
@@ -77,6 +114,20 @@ SchemaExpansionResult ExpandSchema(const PerceptualSpace& space,
                                    const crowd::WorkerPool& pool,
                                    const crowd::HitRunConfig& hit_config,
                                    const std::vector<bool>& sample_truth);
+
+/// Fault-tolerant expansion: acquires the gold sample through the
+/// Dispatcher (deadlines, reposts, dedup, budget caps) and degrades
+/// gracefully — on a one-class sample it re-dispatches a targeted top-up
+/// of the unclassified items; when the budget runs out it trains on
+/// whatever arrived. The returned `status` explains any failure
+/// (InvalidArgument for malformed requests, OutOfRange when the budget
+/// died first, FailedPrecondition when the sample never yielded two
+/// classes); crowd spend and dispatch stats are reported either way.
+SchemaExpansionResult ExpandSchemaResilient(
+    const PerceptualSpace& space, const SchemaExpansionRequest& request,
+    const crowd::WorkerPool& pool, const crowd::HitRunConfig& hit_config,
+    const std::vector<bool>& sample_truth,
+    const ResilientExpansionOptions& options);
 
 }  // namespace ccdb::core
 

@@ -84,11 +84,14 @@ Status PerceptualExpansionResolver::ResolveBool(
   last_result_.crowd_dollars = run.total_cost_dollars;
   last_result_.gold_sample_classified = training_items.size();
   if (!extractor.Train(*space_, training_items, training_labels)) {
+    last_result_.status = Status::FailedPrecondition(
+        "crowd gold sample did not yield two classes for " + column_name);
     return Status::Internal(
         "crowd gold sample did not yield two classes for " + column_name);
   }
   last_result_.values = extractor.ExtractAll(*space_);
   last_result_.success = true;
+  last_result_.status = Status::Ok();
   trained_binary_[column_name] = std::move(extractor);
   audit_log_.push_back({column_name, db::ColumnType::kBool,
                         request.gold_sample_items.size(),

@@ -12,7 +12,10 @@ std::vector<std::optional<bool>> MajorityVote(
   for (const Judgment& judgment : judgments) {
     if (judgment.is_gold) continue;
     if (judgment.timestamp_minutes > up_to_minutes) continue;
-    CCDB_CHECK_LT(judgment.item, num_items);
+    // Documented fallback: a judgment referencing an item outside the
+    // aggregation universe (e.g. an unmarked gold probe from a foreign
+    // stream) simply does not vote, instead of aborting mid-aggregation.
+    if (judgment.item >= num_items) continue;
     if (judgment.answer == Answer::kPositive) {
       ++positive[judgment.item];
     } else if (judgment.answer == Answer::kNegative) {

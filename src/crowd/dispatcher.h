@@ -1,0 +1,125 @@
+#ifndef CCDB_CROWD_DISPATCHER_H_
+#define CCDB_CROWD_DISPATCHER_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/status.h"
+#include "crowd/platform.h"
+
+namespace ccdb::crowd {
+
+/// Policy knobs of the resilient dispatcher that wraps RunCrowdTask.
+struct DispatcherConfig {
+  /// Per-posting deadline: judgments arriving more than this many minutes
+  /// after the posting opened are "late"; items still short of
+  /// `judgments_per_item` on-time judgments at the deadline time out and
+  /// are reposted. Infinity (the default) waits forever — with a zeroed
+  /// FaultModel this reproduces the plain RunCrowdTask output bit for bit.
+  double deadline_minutes = std::numeric_limits<double>::infinity();
+  /// Repost budget: maximum repost rounds after the primary posting.
+  std::size_t max_reposts = 3;
+  /// Exponential backoff before each repost round:
+  /// backoff_initial_minutes * backoff_factor^(round-1).
+  double backoff_initial_minutes = 5.0;
+  double backoff_factor = 2.0;
+  /// Hedging: extra judgments requested per reposted item beyond its
+  /// deficit. Reposts can land on workers who already judged the item
+  /// (their copies are deduplicated away), so a small surplus makes each
+  /// round far more likely to clear the deficit at slight extra cost.
+  std::size_t repost_overprovision = 1;
+  /// Hard caps. A repost round whose *projected* cost would cross
+  /// max_dollars (or that would open past max_minutes) is not issued; the
+  /// dispatcher returns best-effort results with budget_exhausted set.
+  double max_dollars = std::numeric_limits<double>::infinity();
+  double max_minutes = std::numeric_limits<double>::infinity();
+  /// Keep gold questions in repost rounds (default off: screening already
+  /// happened in the primary posting, reposts spend every cent on signal).
+  bool gold_in_reposts = false;
+};
+
+/// Structured accounting of one dispatch, for dashboards and benches.
+struct DispatchStats {
+  std::size_t repost_rounds = 0;
+  /// Item postings issued in repost rounds (an item reposted twice counts
+  /// twice).
+  std::size_t reposted_items = 0;
+  /// Deadline misses: item deficits observed at phase deadlines
+  /// (cumulative across rounds).
+  std::size_t timed_out_items = 0;
+  /// Judgments that arrived after their posting's deadline (still used —
+  /// late, not lost — but they may have triggered a hedged repost).
+  std::size_t late_judgments = 0;
+  /// Identical (worker, item) copies removed by deduplication.
+  std::size_t duplicates_dropped = 0;
+  // Fault accounting aggregated over all postings:
+  std::size_t abandoned_hits = 0;
+  std::size_t churned_workers = 0;
+  std::size_t excluded_workers = 0;
+  std::size_t spam_burst_judgments = 0;
+  /// Dollars paid for judgments beyond judgments_per_item on an item —
+  /// hedged reposts racing late arrivals, the price of tail latency.
+  double wasted_dollars = 0.0;
+  /// True when a repost was needed but max_dollars / max_minutes forbade it.
+  bool budget_exhausted = false;
+  /// True when the repost budget ran out with item deficits remaining.
+  bool reposts_exhausted = false;
+
+  /// Accumulates another dispatch's accounting (used when an expansion
+  /// chains several dispatches, e.g. one-class top-up rounds).
+  void MergeFrom(const DispatchStats& other) {
+    repost_rounds += other.repost_rounds;
+    reposted_items += other.reposted_items;
+    timed_out_items += other.timed_out_items;
+    late_judgments += other.late_judgments;
+    duplicates_dropped += other.duplicates_dropped;
+    abandoned_hits += other.abandoned_hits;
+    churned_workers += other.churned_workers;
+    excluded_workers += other.excluded_workers;
+    spam_burst_judgments += other.spam_burst_judgments;
+    wasted_dollars += other.wasted_dollars;
+    budget_exhausted |= other.budget_exhausted;
+    reposts_exhausted |= other.reposts_exhausted;
+  }
+};
+
+/// Final merged outcome of a dispatch: a deduplicated judgment stream
+/// (sorted by timestamp) plus cost/time totals and the dispatch stats.
+struct DispatchResult {
+  std::vector<Judgment> judgments;
+  double total_minutes = 0.0;
+  double total_cost_dollars = 0.0;
+  DispatchStats stats;
+};
+
+/// Validates dispatcher policy knobs (finite positive backoff, sane caps).
+Status ValidateDispatcherConfig(const DispatcherConfig& config);
+
+/// Fault-tolerant wrapper around RunCrowdTask. The dispatcher posts the
+/// whole sample, watches per-item judgment counts against the deadline,
+/// reposts deficient items with exponential backoff (re-seeded, so repost
+/// rounds draw fresh workers deterministically), deduplicates late
+/// duplicate deliveries, and enforces dollar/minute budget caps. With a
+/// zeroed FaultModel and the default config it is a transparent pass-through.
+class Dispatcher {
+ public:
+  Dispatcher(WorkerPool pool, DispatcherConfig config);
+
+  /// Dispatches the classification of `true_labels.size()` items under
+  /// `hit_config`. Returns InvalidArgument for malformed configs instead
+  /// of aborting; platform-level faults degrade the result, never fail it.
+  StatusOr<DispatchResult> Run(const std::vector<bool>& true_labels,
+                               const HitRunConfig& hit_config) const;
+
+  const DispatcherConfig& config() const { return config_; }
+  const WorkerPool& pool() const { return pool_; }
+
+ private:
+  WorkerPool pool_;
+  DispatcherConfig config_;
+};
+
+}  // namespace ccdb::crowd
+
+#endif  // CCDB_CROWD_DISPATCHER_H_

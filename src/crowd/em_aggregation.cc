@@ -26,8 +26,12 @@ EmAggregationResult EmAggregate(const std::vector<Judgment>& judgments,
   std::vector<bool> has_votes(num_items, false);
   for (const Judgment& judgment : judgments) {
     if (judgment.is_gold || judgment.answer == Answer::kDontKnow) continue;
-    CCDB_CHECK_LT(judgment.item, num_items);
-    CCDB_CHECK_LT(judgment.worker, num_workers);
+    // Documented fallback: votes referencing items or workers outside the
+    // declared universe are dropped rather than aborting — a foreign or
+    // truncated stream degrades coverage, not the process.
+    if (judgment.item >= num_items || judgment.worker >= num_workers) {
+      continue;
+    }
     votes.push_back({judgment.item, judgment.worker,
                      judgment.answer == Answer::kPositive});
     has_votes[judgment.item] = true;
@@ -63,7 +67,14 @@ EmAggregationResult EmAggregate(const std::vector<Judgment>& judgments,
       counted[vote.worker] += 1.0;
     }
     for (std::size_t w = 0; w < num_workers; ++w) {
-      // Clamp away from 0/1 so log-odds stay finite.
+      // Clamp away from 0/1 so log-odds stay finite; a worker with no
+      // votes and a zero-strength prior keeps the prior accuracy instead
+      // of dividing by zero.
+      if (counted[w] <= 0.0) {
+        result.worker_accuracy[w] =
+            std::clamp(config.prior_accuracy, 0.02, 0.98);
+        continue;
+      }
       result.worker_accuracy[w] =
           std::clamp(agreement[w] / counted[w], 0.02, 0.98);
     }

@@ -1,0 +1,77 @@
+#ifndef CCDB_CROWD_FAULT_MODEL_H_
+#define CCDB_CROWD_FAULT_MODEL_H_
+
+#include <cstdint>
+
+namespace ccdb::crowd {
+
+/// Fault taxonomy of a real micro-task platform, injected into the
+/// platform simulation. Every fault is driven by a *dedicated* RNG stream
+/// (seeded with `seed`), independent of the main judgment stream, so a
+/// zeroed FaultModel reproduces the fault-free simulation bit for bit and
+/// the same (config seed, fault seed) pair replays the identical faulty
+/// judgment stream.
+///
+/// All probabilities default to 0 — the seed pipeline's "perfect platform".
+struct FaultModel {
+  /// Per-assignment probability that a worker silently abandons a HIT:
+  /// no judgments are produced and no payment is made, but the worker's
+  /// wall clock still advances by `abandon_time_fraction` of the HIT
+  /// duration (the HIT sits claimed until it expires).
+  double abandonment_prob = 0.0;
+  double abandon_time_fraction = 0.5;
+
+  /// Straggler workers: with probability `straggler_fraction` a worker's
+  /// HIT durations are multiplied by a heavy-tailed Pareto factor
+  /// u^(-1/straggler_pareto_alpha) (>= 1, infinite variance for alpha <= 2).
+  double straggler_fraction = 0.0;
+  double straggler_pareto_alpha = 1.5;
+
+  /// Mid-run churn: with probability `churn_prob` a worker drops out at a
+  /// time drawn uniformly from [0, churn_window_minutes); assignments at or
+  /// after that time never happen, and an assignment spanning it is
+  /// abandoned (partial time wasted, no judgments, no payment).
+  double churn_prob = 0.0;
+  double churn_window_minutes = 240.0;
+
+  /// Per-judgment probability that the platform delivers a late duplicate
+  /// of the same (worker, item) judgment, `duplicate_delay_minutes` (mean,
+  /// exponential) after the original. Duplicates are paid-for noise the
+  /// dispatcher must deduplicate.
+  double duplicate_prob = 0.0;
+  double duplicate_delay_minutes = 30.0;
+
+  /// Per-HIT probability that the submission arrives late: every judgment
+  /// of the HIT is delayed by an exponential with mean
+  /// `late_mean_delay_minutes` (stragglers in the delivery pipeline, not
+  /// the worker).
+  double late_prob = 0.0;
+  double late_mean_delay_minutes = 20.0;
+
+  /// Transient spam burst: with probability `spam_burst_prob` one burst
+  /// window [start, start + duration) exists (start drawn uniformly from
+  /// [0, spam_burst_window_minutes)); judgments completed inside it are
+  /// replaced by fabricated positive-biased answers with probability
+  /// `spam_burst_intensity` — a wave of colluding sock-puppet accounts.
+  double spam_burst_prob = 0.0;
+  double spam_burst_window_minutes = 120.0;
+  double spam_burst_duration_minutes = 30.0;
+  double spam_burst_intensity = 0.8;
+  double spam_burst_positive_bias = 0.7;
+
+  /// Seed of the dedicated fault RNG stream.
+  std::uint64_t seed = 97;
+
+  /// True when at least one fault class can fire. When false the platform
+  /// never touches the fault RNG, guaranteeing bit-for-bit equivalence
+  /// with the fault-free simulation.
+  bool any() const {
+    return abandonment_prob > 0.0 || straggler_fraction > 0.0 ||
+           churn_prob > 0.0 || duplicate_prob > 0.0 || late_prob > 0.0 ||
+           spam_burst_prob > 0.0;
+  }
+};
+
+}  // namespace ccdb::crowd
+
+#endif  // CCDB_CROWD_FAULT_MODEL_H_

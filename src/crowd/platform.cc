@@ -1,8 +1,10 @@
 #include "crowd/platform.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <numeric>
+#include <string>
 #include <unordered_set>
 
 #include "common/check.h"
@@ -17,7 +19,58 @@ struct WorkerState {
   std::size_t gold_correct = 0;
   bool excluded = false;
   bool participated = false;
+  bool churned = false;
 };
+
+/// Pre-drawn fault attributes. All draws happen on the dedicated fault RNG
+/// in a fixed order (worker index, then the burst window) so a given
+/// (FaultModel, seed) pair always produces the same fault schedule.
+struct FaultState {
+  bool enabled = false;
+  Rng rng{0};
+  std::vector<double> straggler_mult;  // per worker, >= 1
+  std::vector<double> dropout_at;      // per worker, +inf = never churns
+  double burst_start = std::numeric_limits<double>::infinity();
+  double burst_end = -std::numeric_limits<double>::infinity();
+};
+
+FaultState PrepareFaults(const FaultModel& fault, std::size_t num_workers) {
+  FaultState state;
+  state.enabled = fault.any();
+  if (!state.enabled) return state;
+  state.rng = Rng(fault.seed);
+  state.straggler_mult.assign(num_workers, 1.0);
+  state.dropout_at.assign(num_workers,
+                          std::numeric_limits<double>::infinity());
+  for (std::size_t w = 0; w < num_workers; ++w) {
+    if (fault.straggler_fraction > 0.0 &&
+        state.rng.Bernoulli(fault.straggler_fraction)) {
+      // Pareto tail on (0, 1]: u^(-1/alpha) >= 1, capped so one worker
+      // cannot stall the simulated clock indefinitely.
+      const double u = 1.0 - state.rng.Uniform();
+      state.straggler_mult[w] = std::min(
+          20.0, std::pow(u, -1.0 / fault.straggler_pareto_alpha));
+    }
+    if (fault.churn_prob > 0.0 && state.rng.Bernoulli(fault.churn_prob)) {
+      state.dropout_at[w] = state.rng.Uniform(0.0, fault.churn_window_minutes);
+    }
+  }
+  if (fault.spam_burst_prob > 0.0 &&
+      state.rng.Bernoulli(fault.spam_burst_prob)) {
+    state.burst_start =
+        state.rng.Uniform(0.0, fault.spam_burst_window_minutes);
+    state.burst_end = state.burst_start + fault.spam_burst_duration_minutes;
+  }
+  return state;
+}
+
+Status CheckProbability(double value, const char* name) {
+  if (value < 0.0 || value > 1.0) {
+    return Status::InvalidArgument(std::string(name) + " must be in [0, 1], got " +
+                                   std::to_string(value));
+  }
+  return Status::Ok();
+}
 
 // The label a worker's judgment is anchored to: in lookup mode the web
 // consensus, otherwise the casual-viewer perception consensus. Gold probes
@@ -71,15 +124,83 @@ WorkerPool WorkerPool::ExcludeCountries(
   return filtered;
 }
 
+Status ValidateCrowdTask(const WorkerPool& pool,
+                         const std::vector<bool>& true_labels,
+                         const HitRunConfig& config) {
+  if (pool.workers.empty()) {
+    return Status::InvalidArgument("worker pool is empty");
+  }
+  for (std::size_t w = 0; w < pool.workers.size(); ++w) {
+    if (!(pool.workers[w].judgments_per_minute > 0.0)) {
+      return Status::InvalidArgument(
+          "worker " + std::to_string(w) +
+          " has non-positive judgments_per_minute");
+    }
+  }
+  if (true_labels.empty()) {
+    return Status::InvalidArgument("sample is empty: nothing to crowd-source");
+  }
+  if (config.judgments_per_item == 0) {
+    return Status::InvalidArgument("judgments_per_item must be > 0");
+  }
+  if (config.items_per_hit == 0) {
+    return Status::InvalidArgument("items_per_hit must be > 0");
+  }
+  if (config.payment_per_hit < 0.0) {
+    return Status::InvalidArgument("payment_per_hit must be >= 0");
+  }
+  for (const auto& [value, name] :
+       {std::pair<double, const char*>{config.lookup_consensus_flip_rate,
+                                       "lookup_consensus_flip_rate"},
+        {config.lookup_contested_rate, "lookup_contested_rate"},
+        {config.perception_flip_rate, "perception_flip_rate"},
+        {config.gold_exclusion_threshold, "gold_exclusion_threshold"},
+        {config.fault.abandonment_prob, "fault.abandonment_prob"},
+        {config.fault.abandon_time_fraction, "fault.abandon_time_fraction"},
+        {config.fault.straggler_fraction, "fault.straggler_fraction"},
+        {config.fault.churn_prob, "fault.churn_prob"},
+        {config.fault.duplicate_prob, "fault.duplicate_prob"},
+        {config.fault.late_prob, "fault.late_prob"},
+        {config.fault.spam_burst_prob, "fault.spam_burst_prob"},
+        {config.fault.spam_burst_intensity, "fault.spam_burst_intensity"},
+        {config.fault.spam_burst_positive_bias,
+         "fault.spam_burst_positive_bias"}}) {
+    const Status status = CheckProbability(value, name);
+    if (!status.ok()) return status;
+  }
+  if (config.fault.straggler_fraction > 0.0 &&
+      !(config.fault.straggler_pareto_alpha > 0.0)) {
+    return Status::InvalidArgument(
+        "fault.straggler_pareto_alpha must be > 0");
+  }
+  if (config.fault.churn_prob > 0.0 &&
+      !(config.fault.churn_window_minutes > 0.0)) {
+    return Status::InvalidArgument("fault.churn_window_minutes must be > 0");
+  }
+  if (config.fault.spam_burst_prob > 0.0 &&
+      !(config.fault.spam_burst_window_minutes > 0.0)) {
+    return Status::InvalidArgument(
+        "fault.spam_burst_window_minutes must be > 0");
+  }
+  return Status::Ok();
+}
+
+StatusOr<CrowdRunResult> RunCrowdTaskChecked(
+    const WorkerPool& pool, const std::vector<bool>& true_labels,
+    const HitRunConfig& config) {
+  const Status status = ValidateCrowdTask(pool, true_labels, config);
+  if (!status.ok()) return status;
+  return RunCrowdTask(pool, true_labels, config);
+}
+
 CrowdRunResult RunCrowdTask(const WorkerPool& pool,
                             const std::vector<bool>& true_labels,
                             const HitRunConfig& config) {
-  CCDB_CHECK(!pool.workers.empty());
-  CCDB_CHECK(!true_labels.empty());
-  CCDB_CHECK_GT(config.judgments_per_item, 0u);
-  CCDB_CHECK_GT(config.items_per_hit, 0u);
+  const Status valid = ValidateCrowdTask(pool, true_labels, config);
+  CCDB_CHECK_MSG(valid.ok(), valid.ToString());
 
   Rng rng(config.seed);
+  FaultState faults = PrepareFaults(config.fault, pool.workers.size());
   const std::size_t num_real_items = true_labels.size();
   const std::size_t num_total_items =
       num_real_items + config.num_gold_questions;
@@ -139,6 +260,11 @@ CrowdRunResult RunCrowdTask(const WorkerPool& pool,
       double best_free = std::numeric_limits<double>::infinity();
       for (std::size_t w = 0; w < pool.workers.size(); ++w) {
         if (states[w].excluded) continue;
+        if (faults.enabled &&
+            states[w].next_free_minutes >= faults.dropout_at[w]) {
+          states[w].churned = true;  // dropped out; refuses new work
+          continue;
+        }
         if (std::find(group_workers[g].begin(), group_workers[g].end(),
                       static_cast<std::uint32_t>(w)) !=
             group_workers[g].end()) {
@@ -159,17 +285,49 @@ CrowdRunResult RunCrowdTask(const WorkerPool& pool,
 
       WorkerState& state = states[chosen];
       const WorkerProfile& worker = pool.workers[chosen];
-      state.participated = true;
       const std::size_t start = g * config.items_per_hit;
       const std::size_t end =
           std::min(num_total_items, start + config.items_per_hit);
-      const double duration = static_cast<double>(end - start) /
-                              worker.judgments_per_minute;
+      double duration = static_cast<double>(end - start) /
+                        worker.judgments_per_minute;
+      if (faults.enabled) duration *= faults.straggler_mult[chosen];
       const double completion = state.next_free_minutes + duration;
+
+      if (faults.enabled) {
+        // Worker drops out mid-HIT: the assignment is lost, the group keeps
+        // its slot open (fewer judgments this round), and the platform pays
+        // nothing for the incomplete work.
+        if (completion > faults.dropout_at[chosen]) {
+          state.next_free_minutes = faults.dropout_at[chosen];
+          state.churned = true;
+          ++result.num_abandoned_hits;
+          continue;
+        }
+        // Silent abandonment: the worker claims the HIT, wastes part of its
+        // duration, and walks away without submitting.
+        if (config.fault.abandonment_prob > 0.0 &&
+            faults.rng.Bernoulli(config.fault.abandonment_prob)) {
+          state.next_free_minutes +=
+              duration * config.fault.abandon_time_fraction;
+          ++result.num_abandoned_hits;
+          continue;
+        }
+      }
+
+      state.participated = true;
       state.next_free_minutes = completion;
       result.total_cost_dollars += config.payment_per_hit;
       const double cost_share =
           config.payment_per_hit / static_cast<double>(end - start);
+
+      // Delivery delay applies to the whole submission (the work was done
+      // at `completion`; the platform surfaces it late).
+      double delivery_delay = 0.0;
+      if (faults.enabled && config.fault.late_prob > 0.0 &&
+          faults.rng.Bernoulli(config.fault.late_prob)) {
+        delivery_delay = -config.fault.late_mean_delay_minutes *
+                         std::log(1.0 - faults.rng.Uniform());
+      }
 
       for (std::size_t i = start; i < end; ++i) {
         const std::uint32_t item = item_ids[i];
@@ -178,16 +336,40 @@ CrowdRunResult RunCrowdTask(const WorkerPool& pool,
                                       ? gold_labels[item - num_real_items]
                                       : anchor[item];
         const bool item_contested = !is_gold && contested[item];
-        const Answer answer =
+        Answer answer =
             JudgeItem(worker, anchor_label, item_contested, config, rng);
+        // Transient spam burst: a wave of sock-puppet submissions replaces
+        // honest work done inside the burst window. The platform (and gold
+        // screening) only ever sees the submitted answer.
+        if (faults.enabled && completion >= faults.burst_start &&
+            completion < faults.burst_end &&
+            faults.rng.Bernoulli(config.fault.spam_burst_intensity)) {
+          answer = faults.rng.Bernoulli(config.fault.spam_burst_positive_bias)
+                       ? Answer::kPositive
+                       : Answer::kNegative;
+          ++result.num_spam_burst_judgments;
+        }
         Judgment judgment;
         judgment.item = item;
         judgment.worker = static_cast<std::uint32_t>(chosen);
         judgment.answer = answer;
-        judgment.timestamp_minutes = completion;
+        judgment.timestamp_minutes = completion + delivery_delay;
         judgment.cost_dollars = cost_share;
         judgment.is_gold = is_gold;
         result.judgments.push_back(judgment);
+        // Late duplicate delivery of the same (worker, item) record. The
+        // HIT was paid exactly once, so the copy carries zero cost; it is
+        // pure stream noise the dispatcher has to deduplicate.
+        if (faults.enabled && config.fault.duplicate_prob > 0.0 &&
+            faults.rng.Bernoulli(config.fault.duplicate_prob)) {
+          Judgment duplicate = judgment;
+          duplicate.cost_dollars = 0.0;
+          duplicate.timestamp_minutes +=
+              -config.fault.duplicate_delay_minutes *
+              std::log(1.0 - faults.rng.Uniform());
+          result.judgments.push_back(duplicate);
+          ++result.num_duplicate_judgments;
+        }
 
         if (is_gold) {
           ++state.gold_seen;
@@ -224,6 +406,7 @@ CrowdRunResult RunCrowdTask(const WorkerPool& pool,
   for (const WorkerState& state : states) {
     if (state.participated) ++result.num_participating_workers;
     if (state.excluded) ++result.num_excluded_workers;
+    if (state.churned) ++result.num_churned_workers;
   }
   result.total_minutes = result.judgments.empty()
                              ? 0.0

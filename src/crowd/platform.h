@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/status.h"
+#include "crowd/fault_model.h"
 #include "crowd/worker.h"
 
 namespace ccdb::crowd {
@@ -63,6 +65,11 @@ struct HitRunConfig {
   double gold_exclusion_threshold = 0.7;
   std::size_t gold_min_probes = 3;
   std::uint64_t seed = 5;
+  /// Platform fault injection (abandonment, stragglers, churn, duplicates,
+  /// late delivery, spam bursts). Defaults to all-zero — the perfect
+  /// platform — and uses its own RNG stream, so enabling it never perturbs
+  /// the fault-free judgment stream of the same `seed`.
+  FaultModel fault;
 };
 
 /// Result of a simulated crowd run: the full judgment stream ordered by
@@ -73,7 +80,23 @@ struct CrowdRunResult {
   double total_cost_dollars = 0.0;
   std::size_t num_participating_workers = 0;
   std::size_t num_excluded_workers = 0;
+  // --- fault accounting (all zero when HitRunConfig::fault is zeroed) ---
+  /// HIT assignments abandoned before submission (no judgments, no pay).
+  std::size_t num_abandoned_hits = 0;
+  /// Workers who dropped out mid-run and lost or refused assignments.
+  std::size_t num_churned_workers = 0;
+  /// Late duplicate (worker, item) judgments injected into the stream.
+  std::size_t num_duplicate_judgments = 0;
+  /// Judgments overwritten by a transient spam burst.
+  std::size_t num_spam_burst_judgments = 0;
 };
+
+/// Validates a crowd run's inputs: non-empty pool and sample, non-zero
+/// judgments_per_item / items_per_hit, sane payments, probabilities in
+/// [0, 1]. Returns InvalidArgument describing the first violation.
+Status ValidateCrowdTask(const WorkerPool& pool,
+                         const std::vector<bool>& true_labels,
+                         const HitRunConfig& config);
 
 /// Simulates dispatching the classification of `true_labels.size()` items
 /// to `pool` under `config`. `true_labels` provides the reference answers
@@ -84,6 +107,13 @@ struct CrowdRunResult {
 CrowdRunResult RunCrowdTask(const WorkerPool& pool,
                             const std::vector<bool>& true_labels,
                             const HitRunConfig& config);
+
+/// Status-returning variant of RunCrowdTask: invalid configurations (see
+/// ValidateCrowdTask) come back as errors instead of aborting the process.
+/// Prefer this at system boundaries (dispatcher, expansion pipeline).
+StatusOr<CrowdRunResult> RunCrowdTaskChecked(
+    const WorkerPool& pool, const std::vector<bool>& true_labels,
+    const HitRunConfig& config);
 
 }  // namespace ccdb::crowd
 

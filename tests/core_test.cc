@@ -544,5 +544,195 @@ TEST_F(PerceptualSpaceFixture, ExpandSchemaEndToEnd) {
   EXPECT_GT(eval::GMean(counts), 0.6);
 }
 
+// ------------------------------------------------- resilient expansion
+
+namespace {
+
+// The gold sample + honest pool shared by the resilient-expansion tests.
+struct ResilientSetup {
+  SchemaExpansionRequest request;
+  std::vector<bool> sample_truth;
+  crowd::WorkerPool pool;
+  crowd::HitRunConfig hit_config;
+};
+
+ResilientSetup MakeResilientSetup(data::SyntheticWorld& world,
+                                  std::uint64_t seed) {
+  ResilientSetup setup;
+  Rng rng(seed);
+  setup.request.attribute_name = "is_comedy";
+  for (std::size_t index :
+       rng.SampleWithoutReplacement(world.num_items(), 80)) {
+    setup.request.gold_sample_items.push_back(
+        static_cast<std::uint32_t>(index));
+    setup.sample_truth.push_back(
+        world.GenreLabel(0, static_cast<std::uint32_t>(index)));
+  }
+  for (int i = 0; i < 10; ++i) {
+    crowd::WorkerProfile worker;
+    worker.honest = true;
+    worker.knowledge = 1.0;
+    worker.accuracy = 0.95;
+    worker.judgments_per_minute = 2.0;
+    setup.pool.workers.push_back(worker);
+  }
+  setup.hit_config.judgments_per_item = 5;
+  setup.hit_config.perception_flip_rate = 0.05;
+  setup.hit_config.seed = 33;
+  return setup;
+}
+
+}  // namespace
+
+TEST_F(PerceptualSpaceFixture, ResilientExpansionMatchesPlainOnZeroFaults) {
+  ResilientSetup setup = MakeResilientSetup(*world_, 31);
+  const SchemaExpansionResult plain =
+      ExpandSchema(*space_, setup.request, setup.pool, setup.hit_config,
+                   setup.sample_truth);
+  const SchemaExpansionResult resilient = ExpandSchemaResilient(
+      *space_, setup.request, setup.pool, setup.hit_config,
+      setup.sample_truth, ResilientExpansionOptions{});
+  ASSERT_TRUE(plain.success);
+  ASSERT_TRUE(resilient.success);
+  EXPECT_TRUE(resilient.status.ok());
+  EXPECT_EQ(resilient.topup_rounds, 0u);
+  EXPECT_EQ(resilient.gold_sample_classified, plain.gold_sample_classified);
+  EXPECT_DOUBLE_EQ(resilient.crowd_dollars, plain.crowd_dollars);
+  ASSERT_EQ(resilient.values.size(), plain.values.size());
+  // Identical judgments -> identical training set -> identical classifier.
+  EXPECT_EQ(resilient.values, plain.values);
+}
+
+TEST_F(PerceptualSpaceFixture,
+       ResilientExpansionHonorsDollarCapUnderAbandonment) {
+  ResilientSetup setup = MakeResilientSetup(*world_, 31);
+  setup.hit_config.fault.abandonment_prob = 0.3;
+
+  ResilientExpansionOptions options;
+  options.dispatcher.deadline_minutes = 60.0;
+  options.dispatcher.max_reposts = 4;
+  options.dispatcher.backoff_initial_minutes = 2.0;
+  options.dispatcher.max_dollars = 1.50;
+
+  const SchemaExpansionResult result = ExpandSchemaResilient(
+      *space_, setup.request, setup.pool, setup.hit_config,
+      setup.sample_truth, options);
+  // Degradation must be graceful: a classifier still comes back, the
+  // spend stays under the cap, and the dispatch ledger is populated.
+  ASSERT_TRUE(result.success) << result.status.ToString();
+  EXPECT_LE(result.crowd_dollars, options.dispatcher.max_dollars);
+  EXPECT_GT(result.dispatch.abandoned_hits, 0u);
+  EXPECT_EQ(result.values.size(), world_->num_items());
+}
+
+TEST_F(PerceptualSpaceFixture, ResilientExpansionTopsUpOneClassSample) {
+  ResilientSetup setup = MakeResilientSetup(*world_, 31);
+  // A sample with a single positive, judged once per item by workers who
+  // know almost nothing: the primary pass classifies a few negatives at
+  // best, the lone positive (and most of the sample) stays unresolved —
+  // exactly the one-class situation the top-up is for.
+  setup.request.gold_sample_items.clear();
+  setup.sample_truth.clear();
+  std::uint32_t positive_item = 0;
+  bool have_positive = false;
+  for (std::uint32_t m = 0;
+       m < world_->num_items() &&
+       setup.request.gold_sample_items.size() < 80;
+       ++m) {
+    const bool label = world_->GenreLabel(0, m);
+    if (label && have_positive) continue;
+    if (label) {
+      have_positive = true;
+      positive_item = m;
+    }
+    setup.request.gold_sample_items.push_back(m);
+    setup.sample_truth.push_back(label);
+  }
+  ASSERT_TRUE(have_positive);
+  (void)positive_item;
+  setup.hit_config.judgments_per_item = 1;
+  setup.hit_config.perception_flip_rate = 0.0;
+  for (auto& worker : setup.pool.workers) worker.knowledge = 0.06;
+
+  ResilientExpansionOptions options;
+  options.topup_judgments_per_item = 7;
+  options.max_topups = 2;
+
+  const SchemaExpansionResult result = ExpandSchemaResilient(
+      *space_, setup.request, setup.pool, setup.hit_config,
+      setup.sample_truth, options);
+  if (result.success) {
+    // Recovery had to come from a top-up round, not the starved primary.
+    EXPECT_GE(result.topup_rounds, 1u);
+    EXPECT_GT(result.gold_sample_classified, 0u);
+  } else {
+    // If even the top-ups could not produce two classes the failure must
+    // be a reported status, never a crash or a silent false.
+    EXPECT_FALSE(result.status.ok());
+  }
+}
+
+TEST_F(PerceptualSpaceFixture, ResilientExpansionRejectsMalformedRequests) {
+  ResilientSetup setup = MakeResilientSetup(*world_, 31);
+  SchemaExpansionRequest empty;
+  empty.attribute_name = "nothing";
+  const SchemaExpansionResult no_sample = ExpandSchemaResilient(
+      *space_, empty, setup.pool, setup.hit_config, {},
+      ResilientExpansionOptions{});
+  EXPECT_FALSE(no_sample.success);
+  EXPECT_EQ(no_sample.status.code(), StatusCode::kInvalidArgument);
+
+  std::vector<bool> short_truth(setup.sample_truth.begin(),
+                                setup.sample_truth.end() - 1);
+  const SchemaExpansionResult mismatched = ExpandSchemaResilient(
+      *space_, setup.request, setup.pool, setup.hit_config, short_truth,
+      ResilientExpansionOptions{});
+  EXPECT_FALSE(mismatched.success);
+  EXPECT_EQ(mismatched.status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(PerceptualSpaceFixture, IncrementalExpansionStopsAtDollarCap) {
+  Rng rng(29);
+  std::vector<std::uint32_t> sample;
+  for (std::size_t index :
+       rng.SampleWithoutReplacement(world_->num_items(), 100)) {
+    sample.push_back(static_cast<std::uint32_t>(index));
+  }
+  std::vector<crowd::Judgment> judgments;
+  for (std::size_t i = 0; i < sample.size(); ++i) {
+    for (int vote = 0; vote < 3; ++vote) {
+      crowd::Judgment judgment;
+      judgment.item = static_cast<std::uint32_t>(i);
+      judgment.answer = world_->GenreLabel(0, sample[i])
+                            ? crowd::Answer::kPositive
+                            : crowd::Answer::kNegative;
+      judgment.timestamp_minutes = rng.Uniform(0.0, 50.0);
+      judgment.cost_dollars = 0.01;
+      judgments.push_back(judgment);
+    }
+  }
+  IncrementalExpansionOptions options;
+  options.checkpoint_interval_minutes = 5.0;
+
+  const auto uncapped =
+      RunIncrementalExpansion(*space_, sample, judgments, 50.0, options);
+  ASSERT_EQ(uncapped.size(), 10u);
+
+  options.max_dollars = 1.0;  // total spend is $3 over the 50 minutes
+  const auto capped =
+      RunIncrementalExpansion(*space_, sample, judgments, 50.0, options);
+  EXPECT_LT(capped.size(), uncapped.size());
+  EXPECT_FALSE(capped.empty());
+  // Every checkpoint before the terminal one respects the cap.
+  for (std::size_t i = 0; i + 1 < capped.size(); ++i) {
+    EXPECT_LE(capped[i].dollars_spent, options.max_dollars);
+  }
+
+  // The checked variant reports bad input instead of aborting.
+  const auto bad = RunIncrementalExpansionChecked(*space_, {}, judgments,
+                                                 50.0, options);
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
 }  // namespace
 }  // namespace ccdb::core
