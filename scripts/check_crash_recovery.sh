@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Crash-recovery gate: builds the tree with ASan+UBSan, runs the recovery
+# test label (journal codec, crash-point resume, replay idempotence) under
+# the sanitizers, then smoke-tests real process death — the durability
+# ablation bench is killed hard at a crash point (exit 42) and re-run,
+# which must resume the partial journal instead of re-buying judgments.
+# Usage: scripts/check_crash_recovery.sh [extra ctest args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# 1. Recovery test suite under the sanitizers.
+if cmake --preset asan >/dev/null 2>&1; then
+  cmake --build --preset asan -j "$(nproc)"
+  ctest --preset recovery-asan -j "$(nproc)" "$@"
+else
+  cmake -B build-asan -S . \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=undefined -fno-omit-frame-pointer -O1" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+  cmake --build build-asan -j "$(nproc)"
+  ctest --test-dir build-asan --output-on-failure -L recovery \
+    -j "$(nproc)" "$@"
+fi
+
+# 2. Whole-process crash smoke: die at dispatch.posting_end mid-bench...
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+bench=build-asan/bench/ablation_durability
+
+status=0
+CCDB_DURABILITY_DIR="$workdir" CCDB_CRASH_POINT=dispatch.posting_end \
+  CCDB_REPS=1 "$bench" >/dev/null 2>&1 || status=$?
+if [[ "$status" -ne 42 ]]; then
+  echo "FAIL: armed crash point should exit 42, got $status" >&2
+  exit 1
+fi
+if [[ ! -s "$workdir/ablation_durability_recovery.jnl" ]]; then
+  echo "FAIL: crashed run left no journal behind" >&2
+  exit 1
+fi
+
+# 3. ...then resume: the rerun must replay the journaled judgments.
+resume_log="$workdir/resume.log"
+CCDB_DURABILITY_DIR="$workdir" CCDB_REPS=1 "$bench" >"$resume_log"
+if ! grep -q "resumed — replayed" "$resume_log"; then
+  echo "FAIL: rerun after crash did not resume the journal:" >&2
+  head -3 "$resume_log" >&2
+  exit 1
+fi
+
+echo "crash-recovery checks passed (suite + kill/resume smoke)"

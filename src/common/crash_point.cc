@@ -1,0 +1,144 @@
+#include "common/crash_point.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <utility>
+
+namespace ccdb::testing {
+namespace {
+
+struct CrashPointState {
+  std::mutex mutex;
+  bool armed = false;
+  std::string armed_site;
+  std::uint64_t remaining_hits = 0;
+  std::function<void(const std::string&)> trap;
+  bool tracing = false;
+  std::vector<std::string> trace;
+};
+
+CrashPointState& State() {
+  static CrashPointState* state = new CrashPointState();
+  return *state;
+}
+
+/// Fast-path gate: true when arming or tracing makes Hit() do real work.
+std::atomic<bool> g_active{false};
+
+void RefreshActiveLocked(const CrashPointState& state) {
+  g_active.store(state.armed || state.tracing, std::memory_order_relaxed);
+}
+
+[[noreturn]] void DefaultTrap(const std::string& site) {
+  std::fprintf(stderr, "CCDB_CRASH_POINT fired at '%s' — exiting hard\n",
+               site.c_str());
+  std::fflush(stderr);
+  ::_exit(CrashPoints::kExitCode);
+}
+
+/// One-time pickup of the CCDB_CRASH_POINT env var ("site" or "site:n").
+void ArmFromEnvOnce() {
+  static const bool done = [] {
+    const char* spec = std::getenv("CCDB_CRASH_POINT");
+    if (spec == nullptr || spec[0] == '\0') return true;
+    std::string site(spec);
+    std::uint64_t count = 1;
+    if (const std::size_t colon = site.rfind(':');
+        colon != std::string::npos) {
+      const std::uint64_t parsed =
+          std::strtoull(site.c_str() + colon + 1, nullptr, 10);
+      if (parsed > 0) {
+        count = parsed;
+        site.resize(colon);
+      }
+    }
+    CrashPoints::Arm(site, count);
+    return true;
+  }();
+  (void)done;
+}
+
+}  // namespace
+
+void CrashPoints::Arm(const std::string& site, std::uint64_t hit_count) {
+  CrashPointState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.armed = true;
+  state.armed_site = site;
+  state.remaining_hits = hit_count == 0 ? 1 : hit_count;
+  RefreshActiveLocked(state);
+}
+
+void CrashPoints::Disarm() {
+  CrashPointState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.armed = false;
+  state.armed_site.clear();
+  state.remaining_hits = 0;
+  RefreshActiveLocked(state);
+}
+
+bool CrashPoints::armed() {
+  CrashPointState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  return state.armed;
+}
+
+void CrashPoints::SetTrapHandler(
+    std::function<void(const std::string&)> handler) {
+  CrashPointState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.trap = std::move(handler);
+}
+
+void CrashPoints::EnableTrace(bool enabled) {
+  CrashPointState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.tracing = enabled;
+  RefreshActiveLocked(state);
+}
+
+std::vector<std::string> CrashPoints::Trace() {
+  CrashPointState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  return state.trace;
+}
+
+void CrashPoints::ClearTrace() {
+  CrashPointState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.trace.clear();
+}
+
+void CrashPoints::Hit(const char* site) {
+  ArmFromEnvOnce();
+  if (!g_active.load(std::memory_order_relaxed)) return;
+
+  CrashPointState& state = State();
+  std::function<void(const std::string&)> trap;
+  std::string fired_site;
+  {
+    std::lock_guard<std::mutex> lock(state.mutex);
+    if (state.tracing) state.trace.emplace_back(site);
+    if (!state.armed || state.armed_site != site) return;
+    if (--state.remaining_hits > 0) return;
+    // Disarm before firing so a throwing trap leaves a clean slate for
+    // the recovery run.
+    state.armed = false;
+    fired_site = std::move(state.armed_site);
+    state.armed_site.clear();
+    RefreshActiveLocked(state);
+    trap = state.trap;
+  }
+  if (trap) {
+    trap(fired_site);
+    return;
+  }
+  DefaultTrap(fired_site);
+}
+
+}  // namespace ccdb::testing

@@ -1,0 +1,59 @@
+#ifndef CCDB_COMMON_CRASH_POINT_H_
+#define CCDB_COMMON_CRASH_POINT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace ccdb::testing {
+
+/// Deterministic crash injection for recovery tests. Durable code paths
+/// mark their commit points with CCDB_CRASH_POINT("subsystem.site");
+/// a test (or the CCDB_CRASH_POINT environment variable) arms one site,
+/// and the n-th execution of that site "crashes" the process — by
+/// default a hard _exit(42) (no atexit flushing, like a kill -9), or a
+/// test-installed trap handler that unwinds back into the test so it can
+/// run recovery in-process.
+///
+/// All state is process-global and mutex-guarded; the unarmed fast path
+/// is a single relaxed atomic load.
+class CrashPoints {
+ public:
+  /// Exit code of the default (process-exit) trap, for wrapper scripts.
+  static constexpr int kExitCode = 42;
+
+  /// Arms `site`: its `hit_count`-th execution from now triggers the trap
+  /// (1 = the next one). Re-arming replaces the previous arming.
+  static void Arm(const std::string& site, std::uint64_t hit_count = 1);
+
+  /// Disarms everything (tracing is unaffected).
+  static void Disarm();
+
+  /// True when some site is armed.
+  static bool armed();
+
+  /// Installs the function invoked when the armed site fires; tests use a
+  /// handler that throws so recovery can run in the same process. Passing
+  /// nullptr restores the default _exit(kExitCode) trap.
+  static void SetTrapHandler(std::function<void(const std::string&)> handler);
+
+  /// Records every site execution (in order, with repetitions) so tests
+  /// can enumerate the crash surface of a run before killing it point by
+  /// point.
+  static void EnableTrace(bool enabled);
+  static std::vector<std::string> Trace();
+  static void ClearTrace();
+
+  /// Called by CCDB_CRASH_POINT. On the first execution anywhere it also
+  /// reads the CCDB_CRASH_POINT environment variable ("site" or
+  /// "site:count") so externally launched binaries can be crashed too.
+  static void Hit(const char* site);
+};
+
+}  // namespace ccdb::testing
+
+/// Marks a named crash-injection site inside durable code paths.
+#define CCDB_CRASH_POINT(site) ::ccdb::testing::CrashPoints::Hit(site)
+
+#endif  // CCDB_COMMON_CRASH_POINT_H_

@@ -1,0 +1,324 @@
+#include "common/journal.h"
+
+#include <unistd.h>
+
+#include <array>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+namespace ccdb {
+namespace {
+
+/// Identifies a ccdb journal file (and its format version).
+constexpr char kMagic[8] = {'C', 'C', 'D', 'B', 'J', 'N', 'L', '1'};
+constexpr std::size_t kRecordHeaderBytes = 8;  // u32 length + u32 crc
+/// Upper bound on one record; a length field beyond it is treated as
+/// corruption (or a torn tail when it is the final record).
+constexpr std::uint32_t kMaxRecordBytes = 1u << 30;
+
+std::array<std::uint32_t, 256> BuildCrcTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+void PutLe32(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xFF));
+  out.push_back(static_cast<char>((v >> 8) & 0xFF));
+  out.push_back(static_cast<char>((v >> 16) & 0xFF));
+  out.push_back(static_cast<char>((v >> 24) & 0xFF));
+}
+
+std::uint32_t GetLe32(const char* p) {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(p[0])) |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(p[1])) << 8 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(p[2])) << 16 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(p[3])) << 24;
+}
+
+struct FileCloser {
+  void operator()(std::FILE* file) const {
+    if (file != nullptr) std::fclose(file);
+  }
+};
+using FileHandle = std::unique_ptr<std::FILE, FileCloser>;
+
+Status FsyncFile(std::FILE* file, const std::string& path) {
+  if (std::fflush(file) != 0) {
+    return Status::Internal("fflush failed on " + path);
+  }
+  if (::fsync(::fileno(file)) != 0) {
+    return Status::Internal("fsync failed on " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::uint32_t Crc32(std::string_view bytes) {
+  static const std::array<std::uint32_t, 256> table = BuildCrcTable();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (char ch : bytes) {
+    crc = table[(crc ^ static_cast<unsigned char>(ch)) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::uint64_t HashBytes(std::string_view bytes) {
+  std::uint64_t hash = 0xCBF29CE484222325ull;
+  for (char ch : bytes) {
+    hash ^= static_cast<unsigned char>(ch);
+    hash *= 0x100000001B3ull;
+  }
+  return hash;
+}
+
+// ----------------------------------------------------------- ByteWriter
+
+void ByteWriter::PutU8(std::uint8_t v) {
+  bytes_.push_back(static_cast<char>(v));
+}
+
+void ByteWriter::PutU32(std::uint32_t v) { PutLe32(bytes_, v); }
+
+void ByteWriter::PutU64(std::uint64_t v) {
+  PutLe32(bytes_, static_cast<std::uint32_t>(v & 0xFFFFFFFFu));
+  PutLe32(bytes_, static_cast<std::uint32_t>(v >> 32));
+}
+
+void ByteWriter::PutF64(double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits);
+}
+
+void ByteWriter::PutBytes(std::string_view bytes) {
+  PutU64(bytes.size());
+  bytes_.append(bytes.data(), bytes.size());
+}
+
+// ----------------------------------------------------------- ByteReader
+
+const void* ByteReader::Take(std::size_t n) {
+  if (!ok_ || bytes_.size() - pos_ < n) {
+    ok_ = false;
+    return nullptr;
+  }
+  const void* p = bytes_.data() + pos_;
+  pos_ += n;
+  return p;
+}
+
+std::uint8_t ByteReader::GetU8() {
+  const void* p = Take(1);
+  return p == nullptr ? 0 : *static_cast<const unsigned char*>(p);
+}
+
+std::uint32_t ByteReader::GetU32() {
+  const void* p = Take(4);
+  return p == nullptr ? 0 : GetLe32(static_cast<const char*>(p));
+}
+
+std::uint64_t ByteReader::GetU64() {
+  const void* p = Take(8);
+  if (p == nullptr) return 0;
+  const char* c = static_cast<const char*>(p);
+  return static_cast<std::uint64_t>(GetLe32(c)) |
+         static_cast<std::uint64_t>(GetLe32(c + 4)) << 32;
+}
+
+double ByteReader::GetF64() {
+  const std::uint64_t bits = GetU64();
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string_view ByteReader::GetBytes() {
+  const std::uint64_t n = GetU64();
+  const void* p = Take(static_cast<std::size_t>(n));
+  if (p == nullptr) return {};
+  return {static_cast<const char*>(p), static_cast<std::size_t>(n)};
+}
+
+// ---------------------------------------------------------- journal scan
+
+namespace {
+
+/// Scans raw journal bytes (past the magic) into records. `torn` receives
+/// true when the scan stopped on an incomplete / checksum-failing tail
+/// rather than clean EOF; a checksum failure that is *not* at the tail is
+/// corruption and yields an error.
+StatusOr<JournalContents> ScanRecords(const std::string& bytes,
+                                      const std::string& path) {
+  JournalContents contents;
+  if (bytes.size() < sizeof(kMagic) ||
+      std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("not a ccdb journal: " + path);
+  }
+  std::size_t pos = sizeof(kMagic);
+  while (pos < bytes.size()) {
+    const std::size_t remaining = bytes.size() - pos;
+    if (remaining < kRecordHeaderBytes) break;  // torn header
+    const std::uint32_t length = GetLe32(bytes.data() + pos);
+    const std::uint32_t stored_crc = GetLe32(bytes.data() + pos + 4);
+    if (length > kMaxRecordBytes ||
+        remaining - kRecordHeaderBytes < length) {
+      break;  // torn payload (or garbage length at the tail)
+    }
+    const std::string_view payload(bytes.data() + pos + kRecordHeaderBytes,
+                                   length);
+    if (Crc32(payload) != stored_crc) {
+      if (pos + kRecordHeaderBytes + length == bytes.size()) {
+        break;  // final record half-written: torn tail
+      }
+      return Status::InvalidArgument(
+          "corrupt journal record (CRC mismatch) at offset " +
+          std::to_string(pos) + " in " + path);
+    }
+    contents.records.emplace_back(payload);
+    pos += kRecordHeaderBytes + length;
+  }
+  contents.valid_bytes = pos;
+  contents.torn_bytes = bytes.size() - pos;
+  return contents;
+}
+
+}  // namespace
+
+StatusOr<JournalContents> ReadJournal(const std::string& path) {
+  StatusOr<std::string> bytes = ReadFileToString(path);
+  if (!bytes.ok()) return bytes.status();
+  return ScanRecords(bytes.value(), path);
+}
+
+// --------------------------------------------------------- JournalWriter
+
+StatusOr<JournalWriter> JournalWriter::Open(const std::string& path,
+                                            SyncPolicy sync,
+                                            JournalContents* recovered) {
+  JournalContents contents;
+  StatusOr<std::string> existing = ReadFileToString(path);
+  if (existing.ok()) {
+    StatusOr<JournalContents> scanned = ScanRecords(existing.value(), path);
+    if (!scanned.ok()) return scanned.status();
+    contents = std::move(scanned).value();
+    if (contents.torn_bytes > 0 &&
+        ::truncate(path.c_str(),
+                   static_cast<off_t>(contents.valid_bytes)) != 0) {
+      return Status::Internal("cannot truncate torn tail of " + path);
+    }
+    std::FILE* file = std::fopen(path.c_str(), "ab");
+    if (file == nullptr) {
+      return Status::Internal("cannot open journal for append: " + path);
+    }
+    if (recovered != nullptr) *recovered = std::move(contents);
+    return JournalWriter(path, sync, file);
+  }
+  if (existing.status().code() != StatusCode::kNotFound) {
+    return existing.status();
+  }
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::Internal("cannot create journal: " + path);
+  }
+  JournalWriter writer(path, sync, file);
+  if (std::fwrite(kMagic, sizeof(kMagic), 1, file) != 1) {
+    return Status::Internal("short write creating journal: " + path);
+  }
+  if (recovered != nullptr) *recovered = JournalContents{};
+  return writer;
+}
+
+Status JournalWriter::Append(std::string_view payload) {
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("journal already closed: " + path_);
+  }
+  if (payload.size() > kMaxRecordBytes) {
+    return Status::InvalidArgument("journal record too large");
+  }
+  std::string header;
+  PutLe32(header, static_cast<std::uint32_t>(payload.size()));
+  PutLe32(header, Crc32(payload));
+  if (std::fwrite(header.data(), 1, header.size(), file_.get()) !=
+          header.size() ||
+      (!payload.empty() &&
+       std::fwrite(payload.data(), 1, payload.size(), file_.get()) !=
+           payload.size())) {
+    return Status::Internal("short write to journal " + path_);
+  }
+  ++appended_records_;
+  if (sync_ == SyncPolicy::kEveryRecord) {
+    return FsyncFile(file_.get(), path_);
+  }
+  return Status::Ok();
+}
+
+Status JournalWriter::Sync() {
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("journal already closed: " + path_);
+  }
+  if (sync_ == SyncPolicy::kNone) {
+    if (std::fflush(file_.get()) != 0) {
+      return Status::Internal("fflush failed on " + path_);
+    }
+    return Status::Ok();
+  }
+  return FsyncFile(file_.get(), path_);
+}
+
+Status JournalWriter::Close() {
+  if (file_ == nullptr) return Status::Ok();
+  Status status = Sync();
+  file_.reset();
+  return status;
+}
+
+// ----------------------------------------------------------- file helpers
+
+Status AtomicWriteFile(const std::string& path, std::string_view bytes) {
+  const std::string tmp = path + ".tmp";
+  {
+    FileHandle file(std::fopen(tmp.c_str(), "wb"));
+    if (file == nullptr) {
+      return Status::Internal("cannot open for writing: " + tmp);
+    }
+    if (!bytes.empty() &&
+        std::fwrite(bytes.data(), 1, bytes.size(), file.get()) !=
+            bytes.size()) {
+      return Status::Internal("short write to " + tmp);
+    }
+    if (Status status = FsyncFile(file.get(), tmp); !status.ok()) {
+      return status;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::Internal("rename failed: " + tmp + " -> " + path);
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::string> ReadFileToString(const std::string& path) {
+  FileHandle file(std::fopen(path.c_str(), "rb"));
+  if (file == nullptr) return Status::NotFound("cannot open " + path);
+  std::string bytes;
+  char buffer[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), file.get())) > 0) {
+    bytes.append(buffer, n);
+  }
+  if (std::ferror(file.get()) != 0) {
+    return Status::Internal("read error on " + path);
+  }
+  return bytes;
+}
+
+}  // namespace ccdb

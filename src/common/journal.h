@@ -1,0 +1,157 @@
+#ifndef CCDB_COMMON_JOURNAL_H_
+#define CCDB_COMMON_JOURNAL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ccdb {
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) of `bytes`. Used to checksum
+/// journal record payloads so torn or bit-rotted records are detected on
+/// recovery.
+std::uint32_t Crc32(std::string_view bytes);
+
+/// FNV-1a 64-bit hash. Journals fingerprint their run's inputs with it so
+/// a resume against different inputs is rejected instead of silently
+/// producing a franken-run.
+std::uint64_t HashBytes(std::string_view bytes);
+
+/// When the journal flushes its buffers down to the disk.
+enum class SyncPolicy {
+  /// Never fsync (OS page cache only). Fastest; a *host* crash can lose
+  /// the tail, a process crash cannot (the write() already happened).
+  kNone,
+  /// fsync at batch boundaries (every Sync() call — the dispatcher syncs
+  /// once per posting, the expansion loop once per checkpoint).
+  kBatch,
+  /// fsync after every appended record. Maximum durability, maximum cost.
+  kEveryRecord,
+};
+
+/// Little-endian byte-string builder for journal record payloads and
+/// snapshot files. Doubles are stored as IEEE-754 bit patterns so a
+/// round trip is bit-exact.
+class ByteWriter {
+ public:
+  void PutU8(std::uint8_t v);
+  void PutU32(std::uint32_t v);
+  void PutU64(std::uint64_t v);
+  void PutF64(double v);
+  void PutBool(bool v) { PutU8(v ? 1 : 0); }
+  /// Length-prefixed byte string.
+  void PutBytes(std::string_view bytes);
+
+  const std::string& bytes() const { return bytes_; }
+  std::string Take() { return std::move(bytes_); }
+
+ private:
+  std::string bytes_;
+};
+
+/// Cursor over a ByteWriter-produced payload. Reads past the end flip
+/// ok() to false and return zeros; callers check ok() once at the end
+/// instead of after every field.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view bytes) : bytes_(bytes) {}
+
+  std::uint8_t GetU8();
+  std::uint32_t GetU32();
+  std::uint64_t GetU64();
+  double GetF64();
+  bool GetBool() { return GetU8() != 0; }
+  std::string_view GetBytes();
+
+  bool ok() const { return ok_; }
+  /// True when every byte was consumed (and no read overran).
+  bool AtEnd() const { return ok_ && pos_ == bytes_.size(); }
+
+ private:
+  const void* Take(std::size_t n);
+
+  std::string_view bytes_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+/// Result of scanning a journal file on open/read.
+struct JournalContents {
+  /// Payloads of every intact record, in append order.
+  std::vector<std::string> records;
+  /// File offset one past the last intact record (= the truncation point).
+  std::uint64_t valid_bytes = 0;
+  /// Bytes of torn tail dropped past valid_bytes (0 for a clean file).
+  std::uint64_t torn_bytes = 0;
+};
+
+/// Reads a journal file. A short or checksum-failing *final* record is a
+/// torn tail (the crash interrupted the append): it is dropped and
+/// reported in `torn_bytes`. A checksum failure on any *earlier* record
+/// is real corruption and comes back as an InvalidArgument Status. A
+/// missing file yields NotFound.
+StatusOr<JournalContents> ReadJournal(const std::string& path);
+
+/// Append-only record log:  8-byte magic header, then per record
+/// [u32 payload_len][u32 crc32(payload)][payload]. Opening an existing
+/// journal scans it, truncates a torn tail in place, and positions the
+/// writer at the end; records already present are returned so the caller
+/// can rebuild its state before appending.
+class JournalWriter {
+ public:
+  JournalWriter(JournalWriter&&) = default;
+  JournalWriter& operator=(JournalWriter&&) = default;
+
+  /// Opens (creating if absent) the journal at `path`. On success
+  /// `recovered` (if non-null) receives the intact records found.
+  static StatusOr<JournalWriter> Open(const std::string& path,
+                                      SyncPolicy sync,
+                                      JournalContents* recovered = nullptr);
+
+  /// Appends one record; under kEveryRecord also fsyncs it down.
+  Status Append(std::string_view payload);
+
+  /// Flushes user-space buffers and (unless kNone) fsyncs. The dispatcher
+  /// calls this at posting boundaries, the expansion loop per checkpoint.
+  Status Sync();
+
+  /// Flushes, syncs and closes. The destructor closes without syncing
+  /// (mirrors a crash, which is exactly what the tests simulate).
+  Status Close();
+
+  std::uint64_t appended_records() const { return appended_records_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  struct FileCloser {
+    void operator()(std::FILE* f) const {
+      if (f != nullptr) std::fclose(f);
+    }
+  };
+
+  JournalWriter(std::string path, SyncPolicy sync, std::FILE* file)
+      : path_(std::move(path)), sync_(sync), file_(file) {}
+
+  std::string path_;
+  SyncPolicy sync_;
+  std::unique_ptr<std::FILE, FileCloser> file_;
+  std::uint64_t appended_records_ = 0;
+};
+
+/// Atomically replaces `path` with `bytes`: writes `path + ".tmp"`,
+/// fsyncs, then rename()s over the target — readers see either the old
+/// or the new complete file, never a torn one. Used for manifest and
+/// model-checkpoint snapshots.
+Status AtomicWriteFile(const std::string& path, std::string_view bytes);
+
+/// Reads a whole file into a string (NotFound when absent).
+StatusOr<std::string> ReadFileToString(const std::string& path);
+
+}  // namespace ccdb
+
+#endif  // CCDB_COMMON_JOURNAL_H_

@@ -37,44 +37,54 @@ TrainingSet BuildTrainingSet(const std::vector<crowd::Judgment>& judgments,
 
 }  // namespace
 
+ExpansionCheckpoint ComputeExpansionCheckpoint(
+    const PerceptualSpace& space,
+    const std::vector<std::uint32_t>& sample_items,
+    const std::vector<crowd::Judgment>& judgments, double now,
+    const ExtractorOptions& extractor_options) {
+  const std::size_t sample_size = sample_items.size();
+  ExpansionCheckpoint checkpoint;
+  checkpoint.minutes = now;
+  checkpoint.dollars_spent = crowd::CostUpTo(judgments, now);
+  checkpoint.crowd_classification =
+      crowd::MajorityVote(judgments, sample_size, now);
+
+  // Training set = items with a clear majority so far.
+  std::vector<std::uint32_t> training_items;
+  std::vector<bool> training_labels;
+  for (std::size_t i = 0; i < sample_size; ++i) {
+    if (checkpoint.crowd_classification[i].has_value()) {
+      training_items.push_back(sample_items[i]);
+      training_labels.push_back(*checkpoint.crowd_classification[i]);
+    }
+  }
+  checkpoint.training_size = training_items.size();
+
+  BinaryAttributeExtractor extractor(extractor_options);
+  if (extractor.Train(space, training_items, training_labels)) {
+    checkpoint.extractor_trained = true;
+    // Extract for the sample only (the experiment's universe).
+    checkpoint.extracted.resize(sample_size);
+    for (std::size_t i = 0; i < sample_size; ++i) {
+      checkpoint.extracted[i] = extractor.Extract(space, sample_items[i]);
+    }
+  }
+  return checkpoint;
+}
+
 std::vector<ExpansionCheckpoint> RunIncrementalExpansion(
     const PerceptualSpace& space,
     const std::vector<std::uint32_t>& sample_items,
     const std::vector<crowd::Judgment>& judgments, double total_minutes,
     const IncrementalExpansionOptions& options) {
   CCDB_CHECK_GT(options.checkpoint_interval_minutes, 0.0);
-  const std::size_t sample_size = sample_items.size();
 
   std::vector<ExpansionCheckpoint> checkpoints;
   for (double t = options.checkpoint_interval_minutes;;
        t += options.checkpoint_interval_minutes) {
     const double now = std::min(t, total_minutes);
-    ExpansionCheckpoint checkpoint;
-    checkpoint.minutes = now;
-    checkpoint.dollars_spent = crowd::CostUpTo(judgments, now);
-    checkpoint.crowd_classification =
-        crowd::MajorityVote(judgments, sample_size, now);
-
-    // Training set = items with a clear majority so far.
-    std::vector<std::uint32_t> training_items;
-    std::vector<bool> training_labels;
-    for (std::size_t i = 0; i < sample_size; ++i) {
-      if (checkpoint.crowd_classification[i].has_value()) {
-        training_items.push_back(sample_items[i]);
-        training_labels.push_back(*checkpoint.crowd_classification[i]);
-      }
-    }
-    checkpoint.training_size = training_items.size();
-
-    BinaryAttributeExtractor extractor(options.extractor);
-    if (extractor.Train(space, training_items, training_labels)) {
-      checkpoint.extractor_trained = true;
-      // Extract for the sample only (the experiment's universe).
-      checkpoint.extracted.resize(sample_size);
-      for (std::size_t i = 0; i < sample_size; ++i) {
-        checkpoint.extracted[i] = extractor.Extract(space, sample_items[i]);
-      }
-    }
+    ExpansionCheckpoint checkpoint = ComputeExpansionCheckpoint(
+        space, sample_items, judgments, now, options.extractor);
     // Budget caps: keep the checkpoint that crossed the cap (it reflects
     // the last money actually spent), then stop — partial results beat
     // none when the crowd run outlives its budget.
@@ -86,8 +96,7 @@ std::vector<ExpansionCheckpoint> RunIncrementalExpansion(
   return checkpoints;
 }
 
-StatusOr<std::vector<ExpansionCheckpoint>> RunIncrementalExpansionChecked(
-    const PerceptualSpace& space,
+Status ValidateIncrementalExpansion(
     const std::vector<std::uint32_t>& sample_items,
     const std::vector<crowd::Judgment>& judgments, double total_minutes,
     const IncrementalExpansionOptions& options) {
@@ -107,6 +116,19 @@ StatusOr<std::vector<ExpansionCheckpoint>> RunIncrementalExpansionChecked(
           "judgment references item " + std::to_string(judgment.item) +
           " outside the sample of " + std::to_string(sample_items.size()));
     }
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::vector<ExpansionCheckpoint>> RunIncrementalExpansionChecked(
+    const PerceptualSpace& space,
+    const std::vector<std::uint32_t>& sample_items,
+    const std::vector<crowd::Judgment>& judgments, double total_minutes,
+    const IncrementalExpansionOptions& options) {
+  if (Status status = ValidateIncrementalExpansion(sample_items, judgments,
+                                                   total_minutes, options);
+      !status.ok()) {
+    return status;
   }
   return RunIncrementalExpansion(space, sample_items, judgments,
                                  total_minutes, options);

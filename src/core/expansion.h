@@ -45,6 +45,26 @@ struct IncrementalExpansionOptions {
   double max_minutes = std::numeric_limits<double>::infinity();
 };
 
+/// Computes the state of the incremental loop at crowd time `now`: the
+/// majority vote over judgments up to `now`, the training set it induces,
+/// and the retrained extraction. This is the single-checkpoint kernel
+/// shared by RunIncrementalExpansion and the durable/resume path
+/// (expansion_manifest.h), which is why a resumed run is bit-identical to
+/// an uninterrupted one.
+ExpansionCheckpoint ComputeExpansionCheckpoint(
+    const PerceptualSpace& space,
+    const std::vector<std::uint32_t>& sample_items,
+    const std::vector<crowd::Judgment>& judgments, double now,
+    const ExtractorOptions& extractor);
+
+/// Validates the inputs of the incremental loop (used by the Checked and
+/// durable variants): non-empty sample, positive interval, non-negative
+/// total time, judgments inside the sample.
+Status ValidateIncrementalExpansion(
+    const std::vector<std::uint32_t>& sample_items,
+    const std::vector<crowd::Judgment>& judgments, double total_minutes,
+    const IncrementalExpansionOptions& options);
+
 /// Replays a crowd judgment stream over the sample `sample_items` (crowd
 /// item id i corresponds to space item sample_items[i]), re-training the
 /// extractor at every checkpoint on the currently majority-classified

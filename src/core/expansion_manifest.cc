@@ -1,0 +1,303 @@
+#include "core/expansion_manifest.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "common/crash_point.h"
+
+namespace ccdb::core {
+namespace {
+
+/// Manifest record types. Checkpoint records carry their index, so replay
+/// is idempotent and order-insensitive; only the gap-free prefix counts.
+enum class RecordType : std::uint8_t {
+  kBegin = 1,       // u64 fingerprint
+  kCheckpoint = 2,  // u64 index, bytes(encoded checkpoint)
+  kFinish = 3,      // u64 fingerprint
+};
+
+std::string EncodeBegin(std::uint64_t fingerprint) {
+  ByteWriter w;
+  w.PutU8(static_cast<std::uint8_t>(RecordType::kBegin));
+  w.PutU64(fingerprint);
+  return w.Take();
+}
+
+std::string EncodeCheckpointRecord(std::uint64_t index,
+                                   const ExpansionCheckpoint& checkpoint) {
+  ByteWriter w;
+  w.PutU8(static_cast<std::uint8_t>(RecordType::kCheckpoint));
+  w.PutU64(index);
+  w.PutBytes(EncodeExpansionCheckpoint(checkpoint));
+  return w.Take();
+}
+
+std::string EncodeFinish(std::uint64_t fingerprint) {
+  ByteWriter w;
+  w.PutU8(static_cast<std::uint8_t>(RecordType::kFinish));
+  w.PutU64(fingerprint);
+  return w.Take();
+}
+
+StatusOr<ExpansionManifest> ReplayManifest(
+    const std::vector<std::string>& records) {
+  ExpansionManifest manifest;
+  std::map<std::uint64_t, ExpansionCheckpoint> by_index;
+  for (const std::string& record : records) {
+    ByteReader r(record);
+    switch (static_cast<RecordType>(r.GetU8())) {
+      case RecordType::kBegin: {
+        const std::uint64_t fingerprint = r.GetU64();
+        if (!r.AtEnd()) {
+          return Status::InvalidArgument("malformed manifest begin record");
+        }
+        if (manifest.begun && manifest.fingerprint != fingerprint) {
+          return Status::InvalidArgument(
+              "manifest holds two different expansions");
+        }
+        manifest.begun = true;
+        manifest.fingerprint = fingerprint;
+        break;
+      }
+      case RecordType::kCheckpoint: {
+        const std::uint64_t index = r.GetU64();
+        StatusOr<ExpansionCheckpoint> checkpoint =
+            DecodeExpansionCheckpoint(r.GetBytes());
+        if (!checkpoint.ok()) return checkpoint.status();
+        if (!r.AtEnd()) {
+          return Status::InvalidArgument(
+              "malformed manifest checkpoint record");
+        }
+        by_index.emplace(index, std::move(checkpoint).value());
+        break;
+      }
+      case RecordType::kFinish: {
+        const std::uint64_t fingerprint = r.GetU64();
+        if (!r.AtEnd()) {
+          return Status::InvalidArgument("malformed manifest finish record");
+        }
+        if (manifest.begun && manifest.fingerprint != fingerprint) {
+          return Status::InvalidArgument(
+              "manifest finish fingerprint does not match begin");
+        }
+        manifest.finished = true;
+        break;
+      }
+      default:
+        return Status::InvalidArgument("unknown manifest record type");
+    }
+  }
+  std::uint64_t next = 0;
+  for (auto& [index, checkpoint] : by_index) {
+    if (index != next) break;  // gap: later checkpoints never hit the disk
+    manifest.checkpoints.push_back(std::move(checkpoint));
+    ++next;
+  }
+  return manifest;
+}
+
+}  // namespace
+
+std::uint64_t ExpansionFingerprint(
+    const std::vector<std::uint32_t>& sample_items,
+    const std::vector<crowd::Judgment>& judgments, double total_minutes,
+    const IncrementalExpansionOptions& options) {
+  ByteWriter w;
+  w.PutU64(sample_items.size());
+  for (std::uint32_t item : sample_items) w.PutU32(item);
+  w.PutU64(judgments.size());
+  for (const crowd::Judgment& judgment : judgments) {
+    w.PutU32(judgment.item);
+    w.PutU32(judgment.worker);
+    w.PutU8(static_cast<std::uint8_t>(judgment.answer));
+    w.PutF64(judgment.timestamp_minutes);
+    w.PutF64(judgment.cost_dollars);
+    w.PutBool(judgment.is_gold);
+  }
+  w.PutF64(total_minutes);
+  w.PutF64(options.checkpoint_interval_minutes);
+  w.PutF64(options.max_dollars);
+  w.PutF64(options.max_minutes);
+  const ExtractorOptions& extractor = options.extractor;
+  w.PutU8(static_cast<std::uint8_t>(extractor.kernel.type));
+  w.PutF64(extractor.kernel.gamma);
+  w.PutU64(static_cast<std::uint64_t>(extractor.kernel.degree));
+  w.PutF64(extractor.kernel.coef0);
+  w.PutF64(extractor.gamma_scale);
+  w.PutF64(extractor.cost);
+  w.PutBool(extractor.balance_class_costs);
+  w.PutF64(extractor.epsilon);
+  w.PutF64(extractor.smo.tolerance);
+  w.PutU64(extractor.smo.max_iterations);
+  return HashBytes(w.bytes());
+}
+
+std::string EncodeExpansionCheckpoint(const ExpansionCheckpoint& checkpoint) {
+  ByteWriter w;
+  w.PutF64(checkpoint.minutes);
+  w.PutF64(checkpoint.dollars_spent);
+  w.PutU64(checkpoint.training_size);
+  w.PutU64(checkpoint.crowd_classification.size());
+  for (const std::optional<bool>& vote : checkpoint.crowd_classification) {
+    w.PutU8(vote.has_value() ? (*vote ? 2 : 1) : 0);
+  }
+  w.PutU64(checkpoint.extracted.size());
+  for (bool extracted : checkpoint.extracted) w.PutBool(extracted);
+  w.PutBool(checkpoint.extractor_trained);
+  return w.Take();
+}
+
+StatusOr<ExpansionCheckpoint> DecodeExpansionCheckpoint(
+    std::string_view bytes) {
+  ByteReader r(bytes);
+  ExpansionCheckpoint checkpoint;
+  checkpoint.minutes = r.GetF64();
+  checkpoint.dollars_spent = r.GetF64();
+  checkpoint.training_size = r.GetU64();
+  const std::uint64_t num_votes = r.GetU64();
+  if (!r.ok() || num_votes > bytes.size()) {
+    return Status::InvalidArgument("truncated checkpoint record");
+  }
+  checkpoint.crowd_classification.reserve(num_votes);
+  for (std::uint64_t i = 0; i < num_votes; ++i) {
+    switch (r.GetU8()) {
+      case 0: checkpoint.crowd_classification.emplace_back(); break;
+      case 1: checkpoint.crowd_classification.emplace_back(false); break;
+      case 2: checkpoint.crowd_classification.emplace_back(true); break;
+      default:
+        return Status::InvalidArgument("corrupt vote in checkpoint record");
+    }
+  }
+  const std::uint64_t num_extracted = r.GetU64();
+  if (!r.ok() || num_extracted > bytes.size()) {
+    return Status::InvalidArgument("truncated checkpoint record");
+  }
+  checkpoint.extracted.reserve(num_extracted);
+  for (std::uint64_t i = 0; i < num_extracted; ++i) {
+    checkpoint.extracted.push_back(r.GetBool());
+  }
+  checkpoint.extractor_trained = r.GetBool();
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument("malformed checkpoint record");
+  }
+  return checkpoint;
+}
+
+StatusOr<ExpansionManifest> LoadExpansionManifest(const std::string& path) {
+  StatusOr<JournalContents> contents = ReadJournal(path);
+  if (!contents.ok()) return contents.status();
+  return ReplayManifest(contents.value().records);
+}
+
+namespace {
+
+StatusOr<std::vector<ExpansionCheckpoint>> RunDurableImpl(
+    const PerceptualSpace& space,
+    const std::vector<std::uint32_t>& sample_items,
+    const std::vector<crowd::Judgment>& judgments, double total_minutes,
+    const IncrementalExpansionOptions& options,
+    const DurableExpansionOptions& durable, bool require_existing) {
+  if (durable.manifest_path.empty()) {
+    return Status::InvalidArgument(
+        "DurableExpansionOptions.manifest_path is empty");
+  }
+  if (Status status = ValidateIncrementalExpansion(sample_items, judgments,
+                                                   total_minutes, options);
+      !status.ok()) {
+    return status;
+  }
+  const std::uint64_t fingerprint =
+      ExpansionFingerprint(sample_items, judgments, total_minutes, options);
+
+  JournalContents recovered;
+  StatusOr<JournalWriter> opened =
+      JournalWriter::Open(durable.manifest_path, durable.sync, &recovered);
+  if (!opened.ok()) return opened.status();
+  JournalWriter writer = std::move(opened).value();
+
+  StatusOr<ExpansionManifest> replayed = ReplayManifest(recovered.records);
+  if (!replayed.ok()) return replayed.status();
+  ExpansionManifest manifest = std::move(replayed).value();
+  if (require_existing && !manifest.begun) {
+    return Status::NotFound("no expansion to resume in " +
+                            durable.manifest_path);
+  }
+  if (manifest.begun && manifest.fingerprint != fingerprint) {
+    return Status::InvalidArgument(
+        "manifest " + durable.manifest_path +
+        " belongs to a different expansion (fingerprint mismatch)");
+  }
+  if (!manifest.begun) {
+    if (Status status = writer.Append(EncodeBegin(fingerprint));
+        !status.ok()) {
+      return status;
+    }
+    if (Status status = writer.Sync(); !status.ok()) return status;
+  }
+  CCDB_CRASH_POINT("expansion.begin");
+
+  // The loop advances `t` by repeated addition — exactly like
+  // RunIncrementalExpansion — so recomputed and resumed runs walk the
+  // identical floating-point time grid. Durable checkpoints are consumed
+  // verbatim; the first missing index is computed, journaled, then used.
+  std::vector<ExpansionCheckpoint> checkpoints;
+  std::size_t index = 0;
+  for (double t = options.checkpoint_interval_minutes;;
+       t += options.checkpoint_interval_minutes, ++index) {
+    const double now = std::min(t, total_minutes);
+    ExpansionCheckpoint checkpoint;
+    if (index < manifest.checkpoints.size()) {
+      checkpoint = manifest.checkpoints[index];
+    } else {
+      checkpoint = ComputeExpansionCheckpoint(space, sample_items, judgments,
+                                              now, options.extractor);
+      if (Status status =
+              writer.Append(EncodeCheckpointRecord(index, checkpoint));
+          !status.ok()) {
+        return status;
+      }
+      if (Status status = writer.Sync(); !status.ok()) return status;
+      CCDB_CRASH_POINT("expansion.checkpoint");
+    }
+    const bool over_budget = checkpoint.dollars_spent > options.max_dollars ||
+                             now >= options.max_minutes;
+    checkpoints.push_back(std::move(checkpoint));
+    if (now >= total_minutes || over_budget) break;
+  }
+
+  if (!manifest.finished) {
+    if (Status status = writer.Append(EncodeFinish(fingerprint));
+        !status.ok()) {
+      return status;
+    }
+    if (Status status = writer.Sync(); !status.ok()) return status;
+  }
+  CCDB_CRASH_POINT("expansion.finish");
+  if (Status status = writer.Close(); !status.ok()) return status;
+  return checkpoints;
+}
+
+}  // namespace
+
+StatusOr<std::vector<ExpansionCheckpoint>> RunIncrementalExpansionDurable(
+    const PerceptualSpace& space,
+    const std::vector<std::uint32_t>& sample_items,
+    const std::vector<crowd::Judgment>& judgments, double total_minutes,
+    const IncrementalExpansionOptions& options,
+    const DurableExpansionOptions& durable) {
+  return RunDurableImpl(space, sample_items, judgments, total_minutes,
+                        options, durable, /*require_existing=*/false);
+}
+
+StatusOr<std::vector<ExpansionCheckpoint>> ResumeIncrementalExpansion(
+    const PerceptualSpace& space,
+    const std::vector<std::uint32_t>& sample_items,
+    const std::vector<crowd::Judgment>& judgments, double total_minutes,
+    const IncrementalExpansionOptions& options,
+    const DurableExpansionOptions& durable) {
+  return RunDurableImpl(space, sample_items, judgments, total_minutes,
+                        options, durable, /*require_existing=*/true);
+}
+
+}  // namespace ccdb::core

@@ -52,6 +52,15 @@ Dispatcher::Dispatcher(WorkerPool pool, DispatcherConfig config)
 StatusOr<DispatchResult> Dispatcher::Run(
     const std::vector<bool>& true_labels,
     const HitRunConfig& hit_config) const {
+  return RunWith(true_labels, hit_config, [this](const PostingSpec& spec) {
+    return StatusOr<CrowdRunResult>(
+        RunCrowdTask(pool_, spec.truth, spec.config));
+  });
+}
+
+StatusOr<DispatchResult> Dispatcher::RunWith(
+    const std::vector<bool>& true_labels, const HitRunConfig& hit_config,
+    const PostingProvider& provider) const {
   if (Status status = ValidateDispatcherConfig(config_); !status.ok()) {
     return status;
   }
@@ -100,14 +109,19 @@ StatusOr<DispatchResult> Dispatcher::Run(
   };
 
   // Primary posting: the full sample, ids map to themselves.
-  std::vector<std::uint32_t> identity(num_items);
+  PostingSpec primary_spec;
+  primary_spec.round = 0;
+  primary_spec.truth = true_labels;
+  primary_spec.config = hit_config;
+  primary_spec.item_map.resize(num_items);
   for (std::size_t i = 0; i < num_items; ++i) {
-    identity[i] = static_cast<std::uint32_t>(i);
+    primary_spec.item_map[i] = static_cast<std::uint32_t>(i);
   }
-  const CrowdRunResult primary =
-      RunCrowdTask(pool_, true_labels, hit_config);
+  StatusOr<CrowdRunResult> primary_or = provider(primary_spec);
+  if (!primary_or.ok()) return primary_or.status();
+  const CrowdRunResult primary = std::move(primary_or).value();
   const std::size_t judgments_before = result.judgments.size();
-  merge(primary, /*phase_start=*/0.0, identity);
+  merge(primary, /*phase_start=*/0.0, primary_spec.item_map);
   const bool primary_untouched =
       result.judgments.size() - judgments_before == primary.judgments.size();
 
@@ -156,12 +170,17 @@ StatusOr<DispatchResult> Dispatcher::Run(
       break;
     }
 
-    std::vector<bool> repost_truth(deficient.size());
+    PostingSpec repost_spec;
+    repost_spec.round = round;
+    repost_spec.config = repost;
+    repost_spec.item_map = deficient;
+    repost_spec.truth.resize(deficient.size());
     for (std::size_t i = 0; i < deficient.size(); ++i) {
-      repost_truth[i] = true_labels[deficient[i]];
+      repost_spec.truth[i] = true_labels[deficient[i]];
     }
-    const CrowdRunResult rerun = RunCrowdTask(pool_, repost_truth, repost);
-    merge(rerun, next_open, deficient);
+    StatusOr<CrowdRunResult> rerun_or = provider(repost_spec);
+    if (!rerun_or.ok()) return rerun_or.status();
+    merge(rerun_or.value(), next_open, deficient);
     ++result.stats.repost_rounds;
     result.stats.reposted_items += deficient.size();
     phase_open = next_open;

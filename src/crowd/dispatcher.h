@@ -2,6 +2,7 @@
 #define CCDB_CROWD_DISPATCHER_H_
 
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <vector>
 
@@ -58,6 +59,16 @@ struct DispatchStats {
   std::size_t churned_workers = 0;
   std::size_t excluded_workers = 0;
   std::size_t spam_burst_judgments = 0;
+  // Durability accounting (zero except on journal-backed resumes):
+  /// Postings whose full judgment stream was replayed from a journal
+  /// instead of being re-acquired from the platform.
+  std::size_t replayed_postings = 0;
+  /// Judgments recovered from a journal (already paid for in the crashed
+  /// run — no new money changed hands).
+  std::size_t replayed_judgments = 0;
+  /// Dollars those replayed judgments had cost; total_cost_dollars minus
+  /// this is the money the resumed run actually spent.
+  double replayed_dollars = 0.0;
   /// Dollars paid for judgments beyond judgments_per_item on an item —
   /// hedged reposts racing late arrivals, the price of tail latency.
   double wasted_dollars = 0.0;
@@ -78,6 +89,9 @@ struct DispatchStats {
     churned_workers += other.churned_workers;
     excluded_workers += other.excluded_workers;
     spam_burst_judgments += other.spam_burst_judgments;
+    replayed_postings += other.replayed_postings;
+    replayed_judgments += other.replayed_judgments;
+    replayed_dollars += other.replayed_dollars;
     wasted_dollars += other.wasted_dollars;
     budget_exhausted |= other.budget_exhausted;
     reposts_exhausted |= other.reposts_exhausted;
@@ -96,6 +110,26 @@ struct DispatchResult {
 /// Validates dispatcher policy knobs (finite positive backoff, sane caps).
 Status ValidateDispatcherConfig(const DispatcherConfig& config);
 
+/// One posting the dispatcher is about to issue: the primary posting
+/// (round 0, the whole sample) or a repost round over the deficient
+/// items. `config` is fully derived — per-round seeds, judgment quotas
+/// and gold policy already applied — so a posting is reproducible from
+/// its spec alone. `item_map[i]` translates posting-local item id i to
+/// the dispatch-wide id.
+struct PostingSpec {
+  std::size_t round = 0;
+  std::vector<bool> truth;
+  HitRunConfig config;
+  std::vector<std::uint32_t> item_map;
+};
+
+/// Acquires one posting's judgments. The default provider forwards to
+/// RunCrowdTask (the simulated platform); the durability layer wraps it
+/// with a write-ahead journal that replays already-acquired postings on
+/// resume instead of re-buying them.
+using PostingProvider =
+    std::function<StatusOr<CrowdRunResult>(const PostingSpec&)>;
+
 /// Fault-tolerant wrapper around RunCrowdTask. The dispatcher posts the
 /// whole sample, watches per-item judgment counts against the deadline,
 /// reposts deficient items with exponential backoff (re-seeded, so repost
@@ -111,6 +145,14 @@ class Dispatcher {
   /// of aborting; platform-level faults degrade the result, never fail it.
   StatusOr<DispatchResult> Run(const std::vector<bool>& true_labels,
                                const HitRunConfig& hit_config) const;
+
+  /// Same dispatch loop, but every posting is acquired through
+  /// `provider` instead of the platform directly — the seam the
+  /// journaling/replay layer plugs into. Given the same posting results,
+  /// the merged output is bit-identical to Run().
+  StatusOr<DispatchResult> RunWith(const std::vector<bool>& true_labels,
+                                   const HitRunConfig& hit_config,
+                                   const PostingProvider& provider) const;
 
   const DispatcherConfig& config() const { return config_; }
   const WorkerPool& pool() const { return pool_; }

@@ -1,7 +1,9 @@
 #include "data/ratings_io.h"
 
 #include <cctype>
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <unordered_map>
 
@@ -9,6 +11,10 @@
 
 namespace ccdb::data {
 namespace {
+
+/// Hard cap on one CSV line — a corrupt file whose "line" never ends
+/// fails with a clean Status instead of exhausting memory.
+constexpr std::size_t kMaxLineBytes = 1 << 20;
 
 bool LooksNumeric(const std::string& field) {
   if (field.empty()) return false;
@@ -38,6 +44,11 @@ StatusOr<RatingDataset> LoadRatingsCsv(const std::string& path) {
   std::size_t line_number = 0;
   while (std::getline(in, line)) {
     ++line_number;
+    if (line.size() > kMaxLineBytes) {
+      return Status::InvalidArgument(path + ":" +
+                                     std::to_string(line_number) +
+                                     ": oversized line");
+    }
     if (line.empty() || (!line.empty() && line.back() == '\r' &&
                          (line.pop_back(), line.empty()))) {
       continue;
@@ -64,12 +75,27 @@ StatusOr<RatingDataset> LoadRatingsCsv(const std::string& path) {
                                      std::to_string(line_number) +
                                      ": non-numeric field");
     }
+    errno = 0;
     const long long raw_item = std::strtoll(row[0].c_str(), nullptr, 10);
+    const bool item_overflow = errno == ERANGE;
+    errno = 0;
     const long long raw_user = std::strtoll(row[1].c_str(), nullptr, 10);
+    if (item_overflow || errno == ERANGE) {
+      return Status::InvalidArgument(path + ":" +
+                                     std::to_string(line_number) +
+                                     ": id out of range");
+    }
     if (raw_item < 0 || raw_user < 0) {
       return Status::InvalidArgument(path + ":" +
                                      std::to_string(line_number) +
                                      ": negative id");
+    }
+    errno = 0;
+    const double raw_score = std::strtod(row[2].c_str(), nullptr);
+    if (errno == ERANGE) {
+      return Status::InvalidArgument(path + ":" +
+                                     std::to_string(line_number) +
+                                     ": score out of range");
     }
     const auto item = item_ids
                           .try_emplace(raw_item, static_cast<std::uint32_t>(
@@ -82,7 +108,7 @@ StatusOr<RatingDataset> LoadRatingsCsv(const std::string& path) {
     Rating rating;
     rating.item = item;
     rating.user = user;
-    rating.score = static_cast<float>(std::strtod(row[2].c_str(), nullptr));
+    rating.score = static_cast<float>(raw_score);
     if (row.size() == 4) {
       rating.day = static_cast<float>(std::strtod(row[3].c_str(), nullptr));
     }

@@ -1,5 +1,6 @@
 #include "db/table_io.h"
 
+#include <cerrno>
 #include <cstdlib>
 #include <fstream>
 
@@ -7,6 +8,11 @@
 
 namespace ccdb::db {
 namespace {
+
+/// Hard cap on one CSV line. A corrupt (or adversarial) file whose "line"
+/// is the rest of a multi-gigabyte blob fails cleanly instead of
+/// ballooning memory inside std::getline.
+constexpr std::size_t kMaxLineBytes = 1 << 20;
 
 const char* TypeTag(ColumnType type) { return ColumnTypeName(type); }
 
@@ -25,11 +31,30 @@ StatusOr<Value> ParseCell(const std::string& field, ColumnType type) {
       if (field == "true") return Value(true);
       if (field == "false") return Value(false);
       return Status::InvalidArgument("bad bool cell: " + field);
-    case ColumnType::kInt:
-      return Value(static_cast<std::int64_t>(
-          std::strtoll(field.c_str(), nullptr, 10)));
-    case ColumnType::kDouble:
-      return Value(std::strtod(field.c_str(), nullptr));
+    case ColumnType::kInt: {
+      char* end = nullptr;
+      errno = 0;
+      const long long parsed = std::strtoll(field.c_str(), &end, 10);
+      if (errno == ERANGE) {
+        return Status::InvalidArgument("int cell out of range: " + field);
+      }
+      if (end == field.c_str() || *end != '\0') {
+        return Status::InvalidArgument("bad int cell: " + field);
+      }
+      return Value(static_cast<std::int64_t>(parsed));
+    }
+    case ColumnType::kDouble: {
+      char* end = nullptr;
+      errno = 0;
+      const double parsed = std::strtod(field.c_str(), &end);
+      if (errno == ERANGE) {
+        return Status::InvalidArgument("double cell out of range: " + field);
+      }
+      if (end == field.c_str() || *end != '\0') {
+        return Status::InvalidArgument("bad double cell: " + field);
+      }
+      return Value(parsed);
+    }
     case ColumnType::kString:
       return Value(field);
   }
@@ -73,6 +98,9 @@ StatusOr<Table> LoadTableCsv(const std::string& path,
   if (!std::getline(in, line)) {
     return Status::InvalidArgument(path + ": missing header");
   }
+  if (line.size() > kMaxLineBytes) {
+    return Status::InvalidArgument(path + ": oversized header line");
+  }
   if (!line.empty() && line.back() == '\r') line.pop_back();
   StatusOr<std::vector<std::string>> header = ParseCsvLine(line);
   if (!header.ok()) return header.status();
@@ -93,6 +121,11 @@ StatusOr<Table> LoadTableCsv(const std::string& path,
   std::size_t line_number = 1;
   while (std::getline(in, line)) {
     ++line_number;
+    if (line.size() > kMaxLineBytes) {
+      return Status::InvalidArgument(path + ":" +
+                                     std::to_string(line_number) +
+                                     ": oversized line");
+    }
     if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty()) continue;
     StatusOr<std::vector<std::string>> fields = ParseCsvLine(line);

@@ -1,0 +1,55 @@
+#ifndef CCDB_FACTORIZATION_CHECKPOINT_H_
+#define CCDB_FACTORIZATION_CHECKPOINT_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "factorization/als_trainer.h"
+#include "factorization/factor_model.h"
+#include "factorization/sgd_trainer.h"
+
+namespace ccdb::factorization {
+
+/// Epoch-level trainer durability: where (and how often) the durable
+/// trainers snapshot their state. Snapshots are single files replaced via
+/// write-to-temp + fsync + rename, so a crash mid-write leaves the
+/// previous snapshot intact; a CRC over the payload rejects bit rot.
+struct TrainerCheckpointOptions {
+  /// Snapshot file path. Must be non-empty for the durable trainers.
+  std::string path;
+  /// Snapshot cadence in epochs (SGD) or sweeps (ALS). The final state is
+  /// always snapshotted regardless of cadence.
+  int every_epochs = 1;
+};
+
+/// Serializes a model's full trainable state (factors, biases, temporal
+/// bin biases, global mean) with doubles as IEEE-754 bit patterns — a
+/// restore is bit-exact.
+std::string EncodeFactorModel(const FactorModel& model);
+
+/// Restores trainable state into `model`, which must have been constructed
+/// from the same (config, dataset) pair — shape mismatches are rejected
+/// with InvalidArgument.
+Status DecodeFactorModelInto(std::string_view bytes, FactorModel& model);
+
+/// Durable TrainSgd: snapshots (model + schedule state + telemetry) every
+/// `checkpoint.every_epochs` epochs via atomic rename. When the snapshot
+/// file already exists and matches this run's fingerprint (config, data
+/// shape, model config), training fast-forwards the RNG schedule and
+/// resumes from the snapshotted epoch; the final model and report are
+/// bit-identical to an uninterrupted run. A snapshot from a different run
+/// is rejected with InvalidArgument.
+StatusOr<TrainingReport> TrainSgdDurable(
+    const SgdTrainerConfig& config, const RatingDataset& data,
+    FactorModel& model, const TrainerCheckpointOptions& checkpoint);
+
+/// Durable TrainAls: sweep-level snapshots with the same semantics (ALS is
+/// deterministic, so resume needs no RNG fast-forward).
+StatusOr<AlsReport> TrainAlsDurable(
+    const AlsTrainerConfig& config, const RatingDataset& data,
+    FactorModel& model, const TrainerCheckpointOptions& checkpoint);
+
+}  // namespace ccdb::factorization
+
+#endif  // CCDB_FACTORIZATION_CHECKPOINT_H_

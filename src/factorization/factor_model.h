@@ -65,12 +65,18 @@ class FactorModel {
   const std::vector<double>& item_bias() const { return item_bias_; }
   const std::vector<double>& user_bias() const { return user_bias_; }
 
+  /// Per-bin item biases of the temporal extension (empty 0x0 matrix when
+  /// time_bins == 1). Exposed so trainer checkpoints can snapshot and
+  /// restore the full trainable state.
+  const Matrix& item_time_bias() const { return item_time_bias_; }
+
   /// Mutable access for alternative trainers (ALS solves factors in
-  /// closed form instead of stepping them).
+  /// closed form instead of stepping them) and checkpoint restore.
   Matrix& mutable_item_factors() { return item_factors_; }
   Matrix& mutable_user_factors() { return user_factors_; }
   std::vector<double>& mutable_item_bias() { return item_bias_; }
   std::vector<double>& mutable_user_bias() { return user_bias_; }
+  Matrix& mutable_item_time_bias() { return item_time_bias_; }
 
   /// Model prediction r̂(item, user) — static part only (temporal bin
   /// biases average to ~0 and are omitted; this is what the perceptual

@@ -295,6 +295,71 @@ TEST(RatingsIoTest, RejectsMalformedInput) {
   EXPECT_FALSE(LoadRatingsCsv("/no/such/ratings.csv").ok());
 }
 
+TEST(RatingsIoTest, RejectsCorruptNumericFields) {
+  const std::string path = ::testing::TempDir() + "/corrupt_ratings.csv";
+  // Ids past the 64-bit range must be InvalidArgument, not wrapped.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("99999999999999999999999999,2,4.0\n", f);
+    std::fclose(f);
+  }
+  auto oversized_id = LoadRatingsCsv(path);
+  ASSERT_FALSE(oversized_id.ok());
+  EXPECT_EQ(oversized_id.status().code(), StatusCode::kInvalidArgument);
+  // Scores past double range likewise.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    const std::string huge_score = "1,2,1" + std::string(400, '0') + "\n";
+    std::fputs(huge_score.c_str(), f);
+    std::fclose(f);
+  }
+  EXPECT_EQ(LoadRatingsCsv(path).status().code(),
+            StatusCode::kInvalidArgument);
+  // Embedded garbage in an otherwise numeric-looking field.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("1,2,4.5,12..5\n", f);
+    std::fclose(f);
+  }
+  EXPECT_EQ(LoadRatingsCsv(path).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(RatingsIoTest, RejectsOversizedLines) {
+  const std::string path = ::testing::TempDir() + "/huge_line.csv";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    const std::string line = "1,2," + std::string((1 << 20) + 16, '4') + "\n";
+    std::fputs(line.c_str(), f);
+    std::fclose(f);
+  }
+  auto loaded = LoadRatingsCsv(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RatingsIoTest, TruncatedFileFailsCleanlyAtEveryCut) {
+  const std::string path = ::testing::TempDir() + "/truncated_ratings.csv";
+  const std::string content = "10,7,4.5,100\n10,9,3.0,200\n22,7,1.0,300\n";
+  for (std::size_t cut = 0; cut <= content.size(); ++cut) {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(content.data(), 1, cut, f), cut);
+    std::fclose(f);
+    // Every truncation point must produce a clean Status (ok for a whole
+    // number of rows, InvalidArgument otherwise) — never a crash.
+    auto loaded = LoadRatingsCsv(path);
+    if (!loaded.ok()) {
+      EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument)
+          << "cut at " << cut;
+    }
+  }
+}
+
 TEST(DomainsTest, PresetShapes) {
   const WorldConfig movies = MoviesConfig(0.1);
   EXPECT_EQ(movies.genres.size(), 6u);

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <fstream>
+#include <iterator>
+#include <string>
 
 #include "db/database.h"
 #include "db/sql_parser.h"
@@ -160,6 +162,88 @@ TEST(TableIoTest, LoadRejectsMalformedFiles) {
   }
   EXPECT_FALSE(LoadTableCsv(path, "t").ok());
   EXPECT_FALSE(LoadTableCsv("/no/such/table.csv", "t").ok());
+}
+
+TEST(TableIoTest, LoadRejectsCorruptCells) {
+  const std::string path = ::testing::TempDir() + "/corrupt_cells.csv";
+  // Trailing garbage after a number used to be silently swallowed by
+  // strtoll/strtod; it must be a clean InvalidArgument.
+  {
+    std::ofstream out(path);
+    out << "year:INT\n1999abc\n";
+  }
+  auto garbage_int = LoadTableCsv(path, "t");
+  ASSERT_FALSE(garbage_int.ok());
+  EXPECT_EQ(garbage_int.status().code(), StatusCode::kInvalidArgument);
+  {
+    std::ofstream out(path);
+    out << "score:DOUBLE\n7.25junk\n";
+  }
+  EXPECT_EQ(LoadTableCsv(path, "t").status().code(),
+            StatusCode::kInvalidArgument);
+  {
+    std::ofstream out(path);
+    out << "score:DOUBLE\nnot_a_number\n";
+  }
+  EXPECT_FALSE(LoadTableCsv(path, "t").ok());
+  // Out-of-range magnitudes are rejected, not clamped.
+  {
+    std::ofstream out(path);
+    out << "year:INT\n99999999999999999999999999\n";
+  }
+  EXPECT_EQ(LoadTableCsv(path, "t").status().code(),
+            StatusCode::kInvalidArgument);
+  {
+    std::ofstream out(path);
+    out << "score:DOUBLE\n1e999999\n";
+  }
+  EXPECT_EQ(LoadTableCsv(path, "t").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(TableIoTest, LoadRejectsOversizedLines) {
+  const std::string path = ::testing::TempDir() + "/oversized.csv";
+  {
+    std::ofstream out(path);
+    out << "name:STRING\n" << std::string((1 << 20) + 16, 'x') << "\n";
+  }
+  auto loaded = LoadTableCsv(path, "t");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TableIoTest, LoadTruncatedFileFailsCleanly) {
+  // A file cut mid-row (e.g. a crashed writer without the atomic-rename
+  // discipline) must fail with a Status, not abort or return half a table.
+  Schema schema({{"name", ColumnType::kString},
+                 {"year", ColumnType::kInt}});
+  Table table("movies", schema);
+  ASSERT_TRUE(table.AppendRow({Value(std::string("AAA")),
+                               Value(static_cast<std::int64_t>(2000))})
+                  .ok());
+  ASSERT_TRUE(table.AppendRow({Value(std::string("BBB")),
+                               Value(static_cast<std::int64_t>(2001))})
+                  .ok());
+  const std::string path = ::testing::TempDir() + "/truncated_table.csv";
+  ASSERT_TRUE(SaveTableCsv(table, path).ok());
+
+  auto whole = LoadTableCsv(path, "t");
+  ASSERT_TRUE(whole.ok());
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  // Cut inside the last row, leaving a dangling quoted field or arity
+  // mismatch; every cut point must produce ok() or InvalidArgument,
+  // never a crash.
+  for (std::size_t cut = bytes.size() - 8; cut < bytes.size(); ++cut) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(cut));
+    out.close();
+    auto loaded = LoadTableCsv(path, "t");
+    if (!loaded.ok()) {
+      EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+    }
+  }
 }
 
 // ---------------------------------------------------------------- parser

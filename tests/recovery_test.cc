@@ -1,0 +1,562 @@
+// Kill-at-point-k recovery tests: arm a crash point, run a durable
+// operation until it "dies" (a throwing trap unwinds back here instead of
+// _exit'ing, so recovery runs in-process), then resume against the same
+// journal and require the result to be bit-identical to an uninterrupted
+// run — with every journaled judgment replayed instead of re-paid.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/crash_point.h"
+#include "common/journal.h"
+#include "common/rng.h"
+#include "core/expansion.h"
+#include "core/expansion_manifest.h"
+#include "core/perceptual_space.h"
+#include "crowd/dispatch_journal.h"
+#include "crowd/dispatcher.h"
+#include "crowd/platform.h"
+#include "data/domains.h"
+#include "data/synthetic_world.h"
+#include "factorization/checkpoint.h"
+#include "factorization/factor_model.h"
+
+namespace ccdb {
+namespace {
+
+using crowd::DispatchResult;
+using crowd::Dispatcher;
+using crowd::DispatcherConfig;
+using crowd::DurabilityOptions;
+using crowd::DurableDispatcher;
+using crowd::HitRunConfig;
+using crowd::Judgment;
+using crowd::WorkerPool;
+using crowd::WorkerProfile;
+using CrashPoints = ::ccdb::testing::CrashPoints;
+
+/// What the throwing trap handler throws: unwinds out of the durable call
+/// like a crash, but lets the test run recovery in the same process.
+struct SimulatedCrash {
+  std::string site;
+};
+
+class RecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    CrashPoints::SetTrapHandler(
+        [](const std::string& site) { throw SimulatedCrash{site}; });
+  }
+  void TearDown() override {
+    CrashPoints::Disarm();
+    CrashPoints::EnableTrace(false);
+    CrashPoints::ClearTrace();
+    CrashPoints::SetTrapHandler(nullptr);
+  }
+};
+
+std::string FreshPath(const std::string& name) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+std::vector<bool> MakeLabels(std::size_t n, double prevalence,
+                             std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<bool> labels(n);
+  for (std::size_t i = 0; i < n; ++i) labels[i] = rng.Bernoulli(prevalence);
+  return labels;
+}
+
+WorkerPool HonestPool(std::size_t n) {
+  WorkerPool pool;
+  for (std::size_t i = 0; i < n; ++i) {
+    WorkerProfile worker;
+    worker.honest = true;
+    worker.knowledge = 1.0;
+    worker.accuracy = 0.95;
+    worker.judgments_per_minute = 2.0;
+    pool.workers.push_back(worker);
+  }
+  return pool;
+}
+
+void ExpectSameStream(const std::vector<Judgment>& a,
+                      const std::vector<Judgment>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].item, b[i].item) << "at " << i;
+    EXPECT_EQ(a[i].worker, b[i].worker) << "at " << i;
+    EXPECT_EQ(a[i].answer, b[i].answer) << "at " << i;
+    EXPECT_EQ(a[i].timestamp_minutes, b[i].timestamp_minutes) << "at " << i;
+    EXPECT_EQ(a[i].cost_dollars, b[i].cost_dollars) << "at " << i;
+    EXPECT_EQ(a[i].is_gold, b[i].is_gold) << "at " << i;
+  }
+}
+
+void ExpectSameDispatch(const DispatchResult& a, const DispatchResult& b) {
+  ExpectSameStream(a.judgments, b.judgments);
+  EXPECT_EQ(a.total_minutes, b.total_minutes);
+  EXPECT_EQ(a.total_cost_dollars, b.total_cost_dollars);
+  EXPECT_EQ(a.stats.repost_rounds, b.stats.repost_rounds);
+  EXPECT_EQ(a.stats.reposted_items, b.stats.reposted_items);
+  EXPECT_EQ(a.stats.duplicates_dropped, b.stats.duplicates_dropped);
+  EXPECT_EQ(a.stats.budget_exhausted, b.stats.budget_exhausted);
+}
+
+// ----------------------------------------------------- dispatch recovery
+
+/// A dispatch with enough faults to need repost rounds — the journal then
+/// holds several postings, which is the interesting recovery surface.
+struct DispatchScenario {
+  std::vector<bool> labels = MakeLabels(60, 0.3, 17);
+  WorkerPool pool = HonestPool(20);
+  HitRunConfig hit;
+  DispatcherConfig policy;
+
+  DispatchScenario() {
+    hit.judgments_per_item = 5;
+    hit.seed = 18;
+    hit.fault.abandonment_prob = 0.4;
+    policy.deadline_minutes = 200.0;
+    policy.max_reposts = 5;
+    policy.backoff_initial_minutes = 2.0;
+  }
+
+  DispatchResult Baseline() const {
+    auto result = Dispatcher(pool, policy).Run(labels, hit);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return result.value();
+  }
+
+  StatusOr<DispatchResult> RunDurable(const std::string& journal) const {
+    DurabilityOptions durability;
+    durability.journal_path = journal;
+    return DurableDispatcher(pool, policy, durability).Run(labels, hit);
+  }
+};
+
+TEST_F(RecoveryTest, FreshDurableDispatchMatchesPlainDispatcher) {
+  const DispatchScenario scenario;
+  const DispatchResult baseline = scenario.Baseline();
+  const std::string journal = FreshPath("fresh_dispatch.jnl");
+  auto durable = scenario.RunDurable(journal);
+  ASSERT_TRUE(durable.ok()) << durable.status().ToString();
+  ExpectSameDispatch(baseline, durable.value());
+  // A run with no crash replays nothing.
+  EXPECT_EQ(durable.value().stats.replayed_postings, 0u);
+  EXPECT_EQ(durable.value().stats.replayed_judgments, 0u);
+  EXPECT_EQ(durable.value().stats.replayed_dollars, 0.0);
+
+  // The journal records a complete dispatch.
+  auto contents = ReadJournal(journal);
+  ASSERT_TRUE(contents.ok());
+  auto state = crowd::ReplayDispatchJournal(contents.value().records);
+  ASSERT_TRUE(state.ok()) << state.status().ToString();
+  EXPECT_TRUE(state.value().complete);
+  EXPECT_GT(state.value().paid_judgments(), 0u);
+}
+
+TEST_F(RecoveryTest, ResumeOfCompletedDispatchReplaysEverything) {
+  const DispatchScenario scenario;
+  const DispatchResult baseline = scenario.Baseline();
+  const std::string journal = FreshPath("completed_dispatch.jnl");
+  ASSERT_TRUE(scenario.RunDurable(journal).ok());
+
+  auto contents = ReadJournal(journal);
+  ASSERT_TRUE(contents.ok());
+  auto state = crowd::ReplayDispatchJournal(contents.value().records);
+  ASSERT_TRUE(state.ok());
+
+  auto resumed = scenario.RunDurable(journal);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  ExpectSameDispatch(baseline, resumed.value());
+  EXPECT_GT(resumed.value().stats.replayed_postings, 0u);
+  EXPECT_EQ(resumed.value().stats.replayed_judgments,
+            state.value().paid_judgments());
+  EXPECT_DOUBLE_EQ(resumed.value().stats.replayed_dollars,
+                   state.value().paid_dollars());
+}
+
+TEST_F(RecoveryTest, KillAtEveryCrashPointThenResumeIsBitIdentical) {
+  const DispatchScenario scenario;
+  const DispatchResult baseline = scenario.Baseline();
+
+  // Enumerate the crash surface of an uninterrupted durable run.
+  CrashPoints::EnableTrace(true);
+  ASSERT_TRUE(scenario.RunDurable(FreshPath("trace_dispatch.jnl")).ok());
+  const std::vector<std::string> trace = CrashPoints::Trace();
+  CrashPoints::EnableTrace(false);
+  CrashPoints::ClearTrace();
+  ASSERT_FALSE(trace.empty());
+
+  std::map<std::string, std::uint64_t> site_counts;
+  for (const std::string& site : trace) ++site_counts[site];
+  ASSERT_TRUE(site_counts.count("dispatch.begin"));
+  ASSERT_TRUE(site_counts.count("dispatch.judgment"));
+  ASSERT_TRUE(site_counts.count("dispatch.posting_end"));
+  ASSERT_TRUE(site_counts.count("dispatch.end"));
+
+  int scenario_index = 0;
+  for (const auto& [site, count] : site_counts) {
+    // Killing at every single judgment append would run the dispatch
+    // hundreds of times; first, middle and last occurrence cover the
+    // empty-prefix, partial-posting and complete-posting cases.
+    std::set<std::uint64_t> hits = {1, (count + 1) / 2, count};
+    for (std::uint64_t hit : hits) {
+      SCOPED_TRACE(site + ":" + std::to_string(hit));
+      const std::string journal = FreshPath(
+          "kill_" + std::to_string(scenario_index++) + ".jnl");
+
+      CrashPoints::Arm(site, hit);
+      bool crashed = false;
+      try {
+        auto result = scenario.RunDurable(journal);
+        (void)result;
+      } catch (const SimulatedCrash& crash) {
+        crashed = true;
+        EXPECT_EQ(crash.site, site);
+      }
+      CrashPoints::Disarm();
+      ASSERT_TRUE(crashed);
+
+      // What the journal says was paid before the crash is exactly what
+      // the resume must replay instead of buying again.
+      auto contents = ReadJournal(journal);
+      ASSERT_TRUE(contents.ok()) << contents.status().ToString();
+      auto state = crowd::ReplayDispatchJournal(contents.value().records);
+      ASSERT_TRUE(state.ok()) << state.status().ToString();
+      const double paid_before = state.value().paid_dollars();
+      const std::size_t judged_before = state.value().paid_judgments();
+
+      auto resumed = scenario.RunDurable(journal);
+      ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+      ExpectSameDispatch(baseline, resumed.value());
+      EXPECT_EQ(resumed.value().stats.replayed_judgments, judged_before);
+      EXPECT_DOUBLE_EQ(resumed.value().stats.replayed_dollars, paid_before);
+    }
+  }
+}
+
+TEST_F(RecoveryTest, DispatchJournalOfDifferentRunIsRejected) {
+  const DispatchScenario scenario;
+  const std::string journal = FreshPath("mismatch_dispatch.jnl");
+  ASSERT_TRUE(scenario.RunDurable(journal).ok());
+
+  DispatchScenario other = scenario;
+  other.hit.seed = 9999;  // different dispatch, same journal
+  auto resumed = other.RunDurable(journal);
+  EXPECT_EQ(resumed.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------- expansion recovery
+
+class ExpansionRecoveryTest : public RecoveryTest {
+ protected:
+  static void SetUpTestSuite() {
+    world_ = new data::SyntheticWorld(data::TinyConfig());
+    const RatingDataset ratings = world_->SampleRatings();
+    core::PerceptualSpaceOptions options;
+    options.model.dims = 16;
+    options.trainer.max_epochs = 12;
+    options.trainer.learning_rate = 0.02;
+    space_ = new core::PerceptualSpace(
+        core::PerceptualSpace::Build(ratings, options));
+
+    Rng rng(29);
+    for (std::size_t index :
+         rng.SampleWithoutReplacement(world_->num_items(), 120)) {
+      sample_.push_back(static_cast<std::uint32_t>(index));
+    }
+    for (std::size_t i = 0; i < sample_.size(); ++i) {
+      for (int vote = 0; vote < 3; ++vote) {
+        Judgment judgment;
+        judgment.item = static_cast<std::uint32_t>(i);
+        judgment.answer = world_->GenreLabel(0, sample_[i])
+                              ? crowd::Answer::kPositive
+                              : crowd::Answer::kNegative;
+        judgment.timestamp_minutes = rng.Uniform(0.0, 30.0);
+        judgment.cost_dollars = 0.002;
+        judgments_.push_back(judgment);
+      }
+    }
+    std::sort(judgments_.begin(), judgments_.end(),
+              [](const Judgment& a, const Judgment& b) {
+                return a.timestamp_minutes < b.timestamp_minutes;
+              });
+  }
+  static void TearDownTestSuite() {
+    delete space_;
+    delete world_;
+    space_ = nullptr;
+    world_ = nullptr;
+    sample_.clear();
+    judgments_.clear();
+  }
+
+  static core::IncrementalExpansionOptions Options() {
+    core::IncrementalExpansionOptions options;
+    options.checkpoint_interval_minutes = 5.0;
+    return options;
+  }
+
+  static void ExpectSameCheckpoints(
+      const std::vector<core::ExpansionCheckpoint>& a,
+      const std::vector<core::ExpansionCheckpoint>& b) {
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].minutes, b[i].minutes) << "checkpoint " << i;
+      EXPECT_EQ(a[i].dollars_spent, b[i].dollars_spent) << "checkpoint " << i;
+      EXPECT_EQ(a[i].training_size, b[i].training_size) << "checkpoint " << i;
+      EXPECT_EQ(a[i].crowd_classification, b[i].crowd_classification)
+          << "checkpoint " << i;
+      EXPECT_EQ(a[i].extracted, b[i].extracted) << "checkpoint " << i;
+      EXPECT_EQ(a[i].extractor_trained, b[i].extractor_trained)
+          << "checkpoint " << i;
+    }
+  }
+
+  static data::SyntheticWorld* world_;
+  static core::PerceptualSpace* space_;
+  static std::vector<std::uint32_t> sample_;
+  static std::vector<Judgment> judgments_;
+};
+
+data::SyntheticWorld* ExpansionRecoveryTest::world_ = nullptr;
+core::PerceptualSpace* ExpansionRecoveryTest::space_ = nullptr;
+std::vector<std::uint32_t> ExpansionRecoveryTest::sample_;
+std::vector<Judgment> ExpansionRecoveryTest::judgments_;
+
+TEST_F(ExpansionRecoveryTest, DurableRunMatchesPlainExpansion) {
+  const auto baseline =
+      RunIncrementalExpansion(*space_, sample_, judgments_, 30.0, Options());
+  core::DurableExpansionOptions durable;
+  durable.manifest_path = FreshPath("fresh_expansion.jnl");
+  auto result = core::RunIncrementalExpansionDurable(
+      *space_, sample_, judgments_, 30.0, Options(), durable);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ExpectSameCheckpoints(baseline, result.value());
+
+  auto manifest = core::LoadExpansionManifest(durable.manifest_path);
+  ASSERT_TRUE(manifest.ok()) << manifest.status().ToString();
+  EXPECT_TRUE(manifest.value().finished);
+  EXPECT_EQ(manifest.value().checkpoints.size(), baseline.size());
+}
+
+TEST_F(ExpansionRecoveryTest, KillAtEveryCheckpointThenResumeIsBitIdentical) {
+  const auto baseline =
+      RunIncrementalExpansion(*space_, sample_, judgments_, 30.0, Options());
+  ASSERT_EQ(baseline.size(), 6u);
+
+  for (const std::string& site :
+       {std::string("expansion.begin"), std::string("expansion.checkpoint"),
+        std::string("expansion.finish")}) {
+    const std::uint64_t occurrences =
+        site == "expansion.checkpoint" ? baseline.size() : 1;
+    for (std::uint64_t hit = 1; hit <= occurrences; ++hit) {
+      SCOPED_TRACE(site + ":" + std::to_string(hit));
+      core::DurableExpansionOptions durable;
+      durable.manifest_path =
+          FreshPath("kill_expansion_" + site + std::to_string(hit) + ".jnl");
+
+      CrashPoints::Arm(site, hit);
+      bool crashed = false;
+      try {
+        auto result = core::RunIncrementalExpansionDurable(
+            *space_, sample_, judgments_, 30.0, Options(), durable);
+        (void)result;
+      } catch (const SimulatedCrash&) {
+        crashed = true;
+      }
+      CrashPoints::Disarm();
+      ASSERT_TRUE(crashed);
+
+      auto resumed = core::ResumeIncrementalExpansion(
+          *space_, sample_, judgments_, 30.0, Options(), durable);
+      ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+      ExpectSameCheckpoints(baseline, resumed.value());
+    }
+  }
+}
+
+TEST_F(ExpansionRecoveryTest, ResumeWithoutManifestIsNotFound) {
+  core::DurableExpansionOptions durable;
+  durable.manifest_path = FreshPath("no_such_expansion.jnl");
+  auto resumed = core::ResumeIncrementalExpansion(
+      *space_, sample_, judgments_, 30.0, Options(), durable);
+  EXPECT_EQ(resumed.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ExpansionRecoveryTest, ManifestOfDifferentExpansionIsRejected) {
+  core::DurableExpansionOptions durable;
+  durable.manifest_path = FreshPath("mismatch_expansion.jnl");
+  ASSERT_TRUE(core::RunIncrementalExpansionDurable(
+                  *space_, sample_, judgments_, 30.0, Options(), durable)
+                  .ok());
+  // Same manifest, shorter run: different fingerprint.
+  auto resumed = core::ResumeIncrementalExpansion(
+      *space_, sample_, judgments_, 25.0, Options(), durable);
+  EXPECT_EQ(resumed.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ------------------------------------------------------ trainer recovery
+
+class TrainerRecoveryTest : public RecoveryTest {
+ protected:
+  static RatingDataset MakeData(std::uint64_t seed) {
+    Rng rng(seed);
+    std::vector<Rating> ratings;
+    for (std::uint32_t m = 0; m < 30; ++m) {
+      for (std::uint32_t u = 0; u < 40; ++u) {
+        if (!rng.Bernoulli(0.4)) continue;
+        ratings.push_back(
+            {m, u, static_cast<float>(rng.Uniform(1.0, 5.0))});
+      }
+    }
+    return RatingDataset(30, 40, std::move(ratings));
+  }
+
+  static void ExpectSameModel(const factorization::FactorModel& a,
+                              const factorization::FactorModel& b) {
+    // Bitwise equality of the full trainable state.
+    EXPECT_EQ(factorization::EncodeFactorModel(a),
+              factorization::EncodeFactorModel(b));
+  }
+};
+
+TEST_F(TrainerRecoveryTest, SgdCrashAtCheckpointThenResumeIsBitIdentical) {
+  const RatingDataset data = MakeData(41);
+  factorization::FactorModelConfig model_config;
+  model_config.kind = factorization::ModelKind::kEuclideanEmbedding;
+  model_config.dims = 8;
+  factorization::SgdTrainerConfig trainer;
+  trainer.max_epochs = 8;
+  trainer.learning_rate = 0.02;
+  trainer.validation_fraction = 0.2;
+  trainer.patience = 4;
+
+  factorization::FactorModel reference(model_config, data);
+  const auto baseline = TrainSgd(trainer, data, reference);
+
+  // One snapshot per completed epoch; early stopping may end the run
+  // before max_epochs, so derive the crash surface from the baseline.
+  const auto last_epoch = static_cast<std::uint64_t>(baseline.epochs_run);
+  ASSERT_GE(last_epoch, 2u);
+  for (std::uint64_t crash_epoch :
+       std::set<std::uint64_t>{1, (last_epoch + 1) / 2, last_epoch}) {
+    SCOPED_TRACE("crash at epoch " + std::to_string(crash_epoch));
+    factorization::TrainerCheckpointOptions checkpoint;
+    checkpoint.path =
+        FreshPath("sgd_crash_" + std::to_string(crash_epoch) + ".ckpt");
+
+    factorization::FactorModel crashed(model_config, data);
+    CrashPoints::Arm("sgd.checkpoint", crash_epoch);
+    EXPECT_THROW(
+        { auto r = TrainSgdDurable(trainer, data, crashed, checkpoint); },
+        SimulatedCrash);
+    CrashPoints::Disarm();
+
+    factorization::FactorModel resumed(model_config, data);
+    auto report = TrainSgdDurable(trainer, data, resumed, checkpoint);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    ExpectSameModel(reference, resumed);
+    EXPECT_EQ(report.value().train_rmse, baseline.train_rmse);
+    EXPECT_EQ(report.value().validation_rmse, baseline.validation_rmse);
+    EXPECT_EQ(report.value().epochs_run, baseline.epochs_run);
+    EXPECT_EQ(report.value().early_stopped, baseline.early_stopped);
+
+    // The final snapshot short-circuits a third run entirely.
+    factorization::FactorModel restored(model_config, data);
+    auto again = TrainSgdDurable(trainer, data, restored, checkpoint);
+    ASSERT_TRUE(again.ok());
+    ExpectSameModel(reference, restored);
+  }
+}
+
+TEST_F(TrainerRecoveryTest, SgdCheckpointOfDifferentRunIsRejected) {
+  const RatingDataset data = MakeData(43);
+  factorization::FactorModelConfig model_config;
+  model_config.dims = 6;
+  factorization::SgdTrainerConfig trainer;
+  trainer.max_epochs = 3;
+
+  factorization::TrainerCheckpointOptions checkpoint;
+  checkpoint.path = FreshPath("sgd_mismatch.ckpt");
+  factorization::FactorModel model(model_config, data);
+  ASSERT_TRUE(TrainSgdDurable(trainer, data, model, checkpoint).ok());
+
+  trainer.seed = 12345;  // different schedule, same snapshot file
+  factorization::FactorModel other(model_config, data);
+  auto resumed = TrainSgdDurable(trainer, data, other, checkpoint);
+  EXPECT_EQ(resumed.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(TrainerRecoveryTest, AlsCrashAtSweepThenResumeIsBitIdentical) {
+  const RatingDataset data = MakeData(47);
+  factorization::FactorModelConfig model_config;
+  model_config.kind = factorization::ModelKind::kSvdDotProduct;
+  model_config.dims = 6;
+  factorization::AlsTrainerConfig trainer;
+  trainer.sweeps = 5;
+  trainer.threads = 2;
+
+  factorization::FactorModel reference(model_config, data);
+  auto baseline = TrainAls(trainer, data, reference);
+  ASSERT_TRUE(baseline.ok());
+
+  for (std::uint64_t crash_sweep : {1u, 3u, 5u}) {
+    SCOPED_TRACE("crash at sweep " + std::to_string(crash_sweep));
+    factorization::TrainerCheckpointOptions checkpoint;
+    checkpoint.path =
+        FreshPath("als_crash_" + std::to_string(crash_sweep) + ".ckpt");
+
+    factorization::FactorModel crashed(model_config, data);
+    CrashPoints::Arm("als.checkpoint", crash_sweep);
+    EXPECT_THROW(
+        { auto r = TrainAlsDurable(trainer, data, crashed, checkpoint); },
+        SimulatedCrash);
+    CrashPoints::Disarm();
+
+    factorization::FactorModel resumed(model_config, data);
+    auto report = TrainAlsDurable(trainer, data, resumed, checkpoint);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    ExpectSameModel(reference, resumed);
+    EXPECT_EQ(report.value().rmse_per_sweep,
+              baseline.value().rmse_per_sweep);
+    EXPECT_EQ(report.value().sweeps_run, baseline.value().sweeps_run);
+  }
+}
+
+TEST_F(TrainerRecoveryTest, CorruptSnapshotIsRejectedNotTrusted) {
+  const RatingDataset data = MakeData(53);
+  factorization::FactorModelConfig model_config;
+  model_config.dims = 6;
+  factorization::SgdTrainerConfig trainer;
+  trainer.max_epochs = 2;
+
+  factorization::TrainerCheckpointOptions checkpoint;
+  checkpoint.path = FreshPath("sgd_corrupt.ckpt");
+  factorization::FactorModel model(model_config, data);
+  ASSERT_TRUE(TrainSgdDurable(trainer, data, model, checkpoint).ok());
+
+  auto bytes = ReadFileToString(checkpoint.path);
+  ASSERT_TRUE(bytes.ok());
+  std::string corrupted = bytes.value();
+  corrupted[corrupted.size() / 2] ^= 0x01;
+  ASSERT_TRUE(AtomicWriteFile(checkpoint.path, corrupted).ok());
+
+  factorization::FactorModel other(model_config, data);
+  auto resumed = TrainSgdDurable(trainer, data, other, checkpoint);
+  EXPECT_EQ(resumed.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace ccdb
