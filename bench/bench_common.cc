@@ -69,6 +69,12 @@ core::PerceptualSpace BuildOrLoadSpace(
       std::printf("[space] loaded cached %s\n", cache_path.string().c_str());
       return std::move(cached).value();
     }
+    // A truncated/corrupt/stale-format cache fails the length+CRC check in
+    // LoadFromFile; fall back to recomputing (and overwriting) it.
+    if (cached.status().code() != StatusCode::kNotFound) {
+      std::printf("[space] cache rejected (%s), rebuilding\n",
+                  cached.status().ToString().c_str());
+    }
   }
 
   Stopwatch stopwatch;

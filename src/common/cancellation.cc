@@ -1,0 +1,18 @@
+#include "common/cancellation.h"
+
+namespace ccdb {
+
+CancellationSource::CancellationSource()
+    : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+Status StopCondition::ToStatus(const std::string& what) const {
+  if (token_.cancelled()) {
+    return Status::Cancelled(what + " cancelled");
+  }
+  if (deadline_.Expired()) {
+    return Status::DeadlineExceeded(what + " ran past its deadline");
+  }
+  return Status::Ok();
+}
+
+}  // namespace ccdb

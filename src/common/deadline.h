@@ -1,0 +1,72 @@
+#ifndef CCDB_COMMON_DEADLINE_H_
+#define CCDB_COMMON_DEADLINE_H_
+
+#include <chrono>
+#include <limits>
+
+namespace ccdb {
+
+/// A wall-clock deadline measured against the monotonic steady clock (so
+/// NTP adjustments cannot move it). Value type, trivially copyable; the
+/// default-constructed deadline never expires. Long-running loops probe
+/// Expired() at their natural boundaries (epoch, sweep, repost round,
+/// checkpoint) — the check is one clock read, cheap enough for every
+/// iteration of even the tight SMO loop.
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Never expires.
+  Deadline() = default;
+
+  static Deadline Never() { return Deadline(); }
+
+  /// Expires `seconds` from now. Non-finite or huge values mean "never";
+  /// zero or negative values are already expired.
+  static Deadline AfterSeconds(double seconds) {
+    if (!(seconds < kNeverSeconds)) return Never();
+    Deadline d;
+    d.has_deadline_ = true;
+    d.when_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                 std::chrono::duration<double>(seconds));
+    return d;
+  }
+
+  static Deadline At(Clock::time_point when) {
+    Deadline d;
+    d.has_deadline_ = true;
+    d.when_ = when;
+    return d;
+  }
+
+  bool has_deadline() const { return has_deadline_; }
+
+  bool Expired() const {
+    return has_deadline_ && Clock::now() >= when_;
+  }
+
+  /// Seconds until expiry: +infinity for a never-deadline, <= 0 once
+  /// expired. Used to split a request budget across pipeline stages.
+  double RemainingSeconds() const {
+    if (!has_deadline_) return std::numeric_limits<double>::infinity();
+    return std::chrono::duration<double>(when_ - Clock::now()).count();
+  }
+
+  /// The earlier of two deadlines (never-deadlines are the identity).
+  static Deadline Earlier(const Deadline& a, const Deadline& b) {
+    if (!a.has_deadline_) return b;
+    if (!b.has_deadline_) return a;
+    return a.when_ <= b.when_ ? a : b;
+  }
+
+ private:
+  /// Durations beyond ~30k years need no timer.
+  static constexpr double kNeverSeconds = 1e12;
+
+  bool has_deadline_ = false;
+  Clock::time_point when_{};
+};
+
+}  // namespace ccdb
+
+#endif  // CCDB_COMMON_DEADLINE_H_

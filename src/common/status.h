@@ -19,6 +19,10 @@ enum class StatusCode {
   kOutOfRange,
   kUnimplemented,
   kInternal,
+  kCancelled,
+  kDeadlineExceeded,
+  kResourceExhausted,
+  kUnavailable,
 };
 
 /// Lightweight status object used for recoverable errors (the library never
@@ -50,6 +54,18 @@ class Status {
   static Status Internal(std::string m) {
     return Status(StatusCode::kInternal, std::move(m));
   }
+  static Status Cancelled(std::string m) {
+    return Status(StatusCode::kCancelled, std::move(m));
+  }
+  static Status DeadlineExceeded(std::string m) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(m));
+  }
+  static Status ResourceExhausted(std::string m) {
+    return Status(StatusCode::kResourceExhausted, std::move(m));
+  }
+  static Status Unavailable(std::string m) {
+    return Status(StatusCode::kUnavailable, std::move(m));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -71,6 +87,10 @@ class Status {
       case StatusCode::kOutOfRange: return "OUT_OF_RANGE";
       case StatusCode::kUnimplemented: return "UNIMPLEMENTED";
       case StatusCode::kInternal: return "INTERNAL";
+      case StatusCode::kCancelled: return "CANCELLED";
+      case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+      case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+      case StatusCode::kUnavailable: return "UNAVAILABLE";
     }
     return "UNKNOWN";
   }

@@ -36,6 +36,24 @@ void ThreadPool::Submit(std::function<void()> task) {
   task_available_.notify_one();
 }
 
+bool ThreadPool::TryEnqueue(std::function<void()> task,
+                            std::size_t max_queued) {
+  CCDB_CHECK(task != nullptr);
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (shutting_down_ || tasks_.size() >= max_queued) return false;
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  task_available_.notify_one();
+  return true;
+}
+
+std::size_t ThreadPool::QueuedTasks() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return tasks_.size();
+}
+
 void ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mutex_);
   all_done_.wait(lock, [this] { return in_flight_ == 0; });

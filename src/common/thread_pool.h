@@ -12,8 +12,16 @@
 namespace ccdb {
 
 /// Fixed-size worker pool. Used to parallelize embarrassingly parallel
-/// loops (per-genre experiment repetitions, SVM batch prediction). Tasks
-/// must not throw — the library is exception-free.
+/// loops (per-genre experiment repetitions, SVM batch prediction) and as
+/// the bounded admission queue of the expansion service. Tasks must not
+/// throw — the library is exception-free.
+///
+/// Shutdown ordering: the destructor marks the pool as shutting down,
+/// lets the workers drain every task already queued, then joins them —
+/// queued work is never dropped. Submit() after shutdown has begun is a
+/// programming error (it aborts); TryEnqueue() instead returns false.
+/// Consequently a task must never touch state that is destroyed before
+/// the pool itself — destroy the pool first, dependents after.
 class ThreadPool {
  public:
   /// Starts `num_threads` workers (>= 1; defaults to hardware concurrency).
@@ -22,13 +30,25 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Drains outstanding work and joins all workers.
+  /// Drains outstanding work and joins all workers (see shutdown ordering
+  /// above).
   ~ThreadPool();
 
   std::size_t num_threads() const { return workers_.size(); }
 
   /// Enqueues a task for asynchronous execution.
   void Submit(std::function<void()> task);
+
+  /// Bounded-queue variant: enqueues only when fewer than `max_queued`
+  /// tasks are waiting for a worker (tasks already running do not count).
+  /// Returns false — without blocking — when the queue is full or the
+  /// pool is shutting down. This is the admission-control primitive: a
+  /// caller that gets false sheds the request instead of queueing
+  /// unbounded work.
+  bool TryEnqueue(std::function<void()> task, std::size_t max_queued);
+
+  /// Tasks currently waiting for a worker (diagnostic; racy by nature).
+  std::size_t QueuedTasks() const;
 
   /// Blocks until every submitted task has finished.
   void Wait();
@@ -44,7 +64,7 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable task_available_;
   std::condition_variable all_done_;
   std::size_t in_flight_ = 0;

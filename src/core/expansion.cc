@@ -82,6 +82,9 @@ std::vector<ExpansionCheckpoint> RunIncrementalExpansion(
   std::vector<ExpansionCheckpoint> checkpoints;
   for (double t = options.checkpoint_interval_minutes;;
        t += options.checkpoint_interval_minutes) {
+    // Cooperative stop at the checkpoint boundary: keep what is already
+    // computed (each checkpoint is a complete partial result).
+    if (options.stop.ShouldStop()) break;
     const double now = std::min(t, total_minutes);
     ExpansionCheckpoint checkpoint = ComputeExpansionCheckpoint(
         space, sample_items, judgments, now, options.extractor);
@@ -209,6 +212,18 @@ SchemaExpansionResult ExpandSchemaResilient(
   result.crowd_dollars = dispatched.value().total_cost_dollars;
   result.dispatch = dispatched.value().stats;
 
+  // Between-stage stop check. A fired *crowd-stage* signal
+  // (dispatcher.stop) is not fatal — the dispatcher already returned
+  // best-effort judgments and training may still fit the remaining
+  // budget. A fired *expansion-level* signal is: nobody is waiting for
+  // the answer (cancel) or there is no time left to compute it
+  // (deadline), so spending more crowd money or CPU would be waste.
+  if (options.stop.ShouldStop()) {
+    result.status = options.stop.ToStatus("schema expansion of '" +
+                                          request.attribute_name + "'");
+    return result;
+  }
+
   TrainingSet training =
       BuildTrainingSet(judgments, request.gold_sample_items,
                        std::numeric_limits<double>::infinity());
@@ -220,6 +235,11 @@ SchemaExpansionResult ExpandSchemaResilient(
        round <= options.max_topups &&
        !(training.has_positive && training.has_negative);
        ++round) {
+    if (options.stop.ShouldStop()) {
+      result.status = options.stop.ToStatus("schema expansion of '" +
+                                            request.attribute_name + "'");
+      return result;
+    }
     std::vector<std::uint32_t> unresolved;  // sample-local indices
     for (std::size_t i = 0; i < request.gold_sample_items.size(); ++i) {
       if (!training.classification[i].has_value()) {
@@ -276,6 +296,11 @@ SchemaExpansionResult ExpandSchemaResilient(
   }
 
   result.gold_sample_classified = training.items.size();
+  if (options.stop.ShouldStop()) {
+    result.status = options.stop.ToStatus("schema expansion of '" +
+                                          request.attribute_name + "'");
+    return result;
+  }
   BinaryAttributeExtractor extractor(request.extractor);
   if (!extractor.Train(space, training.items, training.labels)) {
     if (result.dispatch.budget_exhausted) {
@@ -288,6 +313,14 @@ SchemaExpansionResult ExpandSchemaResilient(
           "' did not yield two classes after " +
           std::to_string(result.topup_rounds) + " top-up round(s)");
     }
+    return result;
+  }
+  // Training may itself have been cut short (extractor smo.stop shares
+  // the request budget); extracting the full space with a half-solved
+  // model past the deadline helps nobody.
+  if (options.stop.ShouldStop()) {
+    result.status = options.stop.ToStatus("schema expansion of '" +
+                                          request.attribute_name + "'");
     return result;
   }
   result.values = extractor.ExtractAll(space);

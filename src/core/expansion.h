@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/status.h"
 #include "core/extractor.h"
 #include "core/perceptual_space.h"
@@ -43,6 +44,13 @@ struct IncrementalExpansionOptions {
   /// an empty answer. Infinity (the default) disables the cap.
   double max_dollars = std::numeric_limits<double>::infinity();
   double max_minutes = std::numeric_limits<double>::infinity();
+  /// Cooperative stop signal, probed at every checkpoint boundary. When it
+  /// fires the loop returns the checkpoints completed so far (partial
+  /// results beat none — same shape as the budget caps above). The durable
+  /// variant instead returns Cancelled / DeadlineExceeded, because its
+  /// partial state lives in the manifest journal and is resumable. The
+  /// default never fires.
+  StopCondition stop;
 };
 
 /// Computes the state of the incremental loop at crowd time `now`: the
@@ -123,6 +131,13 @@ struct ResilientExpansionOptions {
   /// with this many judgments each instead of failing outright.
   std::size_t topup_judgments_per_item = 7;
   std::size_t max_topups = 1;
+  /// Stop signal for the *whole* expansion (probed between pipeline
+  /// stages: after dispatch, before each top-up, before training and
+  /// extraction). Stage-level signals nest inside it: `dispatcher.stop`
+  /// may carry an earlier deadline so the crowd stage returns best-effort
+  /// judgments while training still has budget left. The default never
+  /// fires.
+  StopCondition stop;
 };
 
 /// Runs the full pipeline: dispatch the gold sample to `pool` under

@@ -250,6 +250,14 @@ StatusOr<std::vector<ExpansionCheckpoint>> RunDurableImpl(
     if (index < manifest.checkpoints.size()) {
       checkpoint = manifest.checkpoints[index];
     } else {
+      // Cooperative stop at the checkpoint boundary. Checkpoints already
+      // journaled stay on disk; a later run (or ResumeIncrementalExpansion)
+      // with the same inputs picks up exactly here — cancellation leaves
+      // the same durable state as a crash would, minus the torn tail.
+      if (options.stop.ShouldStop()) {
+        if (Status status = writer.Close(); !status.ok()) return status;
+        return options.stop.ToStatus("durable incremental expansion");
+      }
       checkpoint = ComputeExpansionCheckpoint(space, sample_items, judgments,
                                               now, options.extractor);
       if (Status status =

@@ -1,0 +1,375 @@
+#include "core/expansion_service.h"
+
+#include <chrono>
+#include <utility>
+
+#include "common/check.h"
+#include "common/journal.h"
+
+namespace ccdb::core {
+
+/// One deduplicated expansion execution shared by its waiters. Guarded by
+/// the service mutex except for `job`, `deadlines` and `cancel`, which
+/// are written once before the flight is published and read-only after.
+struct ExpansionService::Ticket::Flight {
+  ExpansionJob job;
+  std::uint64_t key = 0;
+  /// Flight-level cancellation: fired when the last waiter abandons the
+  /// flight or the service shuts down. Each waiter's own token is *not*
+  /// wired in directly — a shared flight must survive one impatient
+  /// caller.
+  CancellationSource cancel;
+  Deadline total_deadline;
+  Deadline crowd_deadline;
+  /// This flight is the half-open breaker probe; its outcome decides
+  /// whether the breaker closes or re-opens.
+  bool is_probe = false;
+  std::size_t waiters = 0;
+  bool done = false;
+  SchemaExpansionResult result;
+  std::condition_variable cv;
+};
+
+std::uint64_t ExpansionJobFingerprint(const ExpansionJob& job) {
+  ByteWriter w;
+  w.PutBytes(job.table);
+  w.PutBytes(job.request.attribute_name);
+  w.PutU64(job.request.gold_sample_items.size());
+  for (std::uint32_t item : job.request.gold_sample_items) w.PutU32(item);
+  w.PutU64(job.sample_truth.size());
+  for (bool truth : job.sample_truth) w.PutBool(truth);
+
+  const auto put_extractor = [&w](const ExtractorOptions& e) {
+    w.PutU8(static_cast<std::uint8_t>(e.kernel.type));
+    w.PutF64(e.kernel.gamma);
+    w.PutU64(static_cast<std::uint64_t>(e.kernel.degree));
+    w.PutF64(e.kernel.coef0);
+    w.PutF64(e.gamma_scale);
+    w.PutF64(e.cost);
+    w.PutBool(e.balance_class_costs);
+    w.PutF64(e.epsilon);
+    w.PutF64(e.smo.tolerance);
+    w.PutU64(e.smo.max_iterations);
+  };
+  put_extractor(job.request.extractor);
+
+  const crowd::HitRunConfig& h = job.hit_config;
+  w.PutU64(h.judgments_per_item);
+  w.PutU64(h.items_per_hit);
+  w.PutF64(h.payment_per_hit);
+  w.PutBool(h.allow_dont_know);
+  w.PutBool(h.lookup_mode);
+  w.PutF64(h.lookup_consensus_flip_rate);
+  w.PutF64(h.lookup_contested_rate);
+  w.PutF64(h.perception_flip_rate);
+  w.PutU64(h.num_gold_questions);
+  w.PutF64(h.gold_exclusion_threshold);
+  w.PutU64(h.gold_min_probes);
+  w.PutU64(h.seed);
+  const crowd::FaultModel& f = h.fault;
+  w.PutF64(f.abandonment_prob);
+  w.PutF64(f.abandon_time_fraction);
+  w.PutF64(f.straggler_fraction);
+  w.PutF64(f.straggler_pareto_alpha);
+  w.PutF64(f.churn_prob);
+  w.PutF64(f.churn_window_minutes);
+  w.PutF64(f.duplicate_prob);
+  w.PutF64(f.duplicate_delay_minutes);
+  w.PutF64(f.late_prob);
+  w.PutF64(f.late_mean_delay_minutes);
+  w.PutF64(f.spam_burst_prob);
+  w.PutF64(f.spam_burst_window_minutes);
+  w.PutF64(f.spam_burst_duration_minutes);
+  w.PutF64(f.spam_burst_intensity);
+  w.PutF64(f.spam_burst_positive_bias);
+  w.PutU64(f.seed);
+
+  const crowd::DispatcherConfig& d = job.expansion.dispatcher;
+  w.PutF64(d.deadline_minutes);
+  w.PutU64(d.max_reposts);
+  w.PutF64(d.backoff_initial_minutes);
+  w.PutF64(d.backoff_factor);
+  w.PutU64(d.repost_overprovision);
+  w.PutF64(d.max_dollars);
+  w.PutF64(d.max_minutes);
+  w.PutBool(d.gold_in_reposts);
+  w.PutU64(job.expansion.topup_judgments_per_item);
+  w.PutU64(job.expansion.max_topups);
+  return HashBytes(w.bytes());
+}
+
+// --- Ticket ---------------------------------------------------------------
+
+ExpansionService::Ticket::Ticket(ExpansionService* service,
+                                 std::shared_ptr<Flight> flight,
+                                 StopCondition waiter_stop)
+    : service_(service),
+      flight_(std::move(flight)),
+      waiter_stop_(std::move(waiter_stop)) {}
+
+ExpansionService::Ticket::Ticket(Ticket&& other) noexcept
+    : service_(other.service_),
+      flight_(std::move(other.flight_)),
+      waiter_stop_(std::move(other.waiter_stop_)),
+      resolved_(other.resolved_),
+      result_(std::move(other.result_)) {
+  other.flight_.reset();
+  other.resolved_ = true;
+}
+
+ExpansionService::Ticket& ExpansionService::Ticket::operator=(
+    Ticket&& other) noexcept {
+  if (this != &other) {
+    Abandon();
+    service_ = other.service_;
+    flight_ = std::move(other.flight_);
+    waiter_stop_ = std::move(other.waiter_stop_);
+    resolved_ = other.resolved_;
+    result_ = std::move(other.result_);
+    other.flight_.reset();
+    other.resolved_ = true;
+  }
+  return *this;
+}
+
+ExpansionService::Ticket::~Ticket() { Abandon(); }
+
+void ExpansionService::Ticket::Abandon() {
+  if (resolved_ || flight_ == nullptr) return;
+  std::lock_guard<std::mutex> lock(service_->mu_);
+  resolved_ = true;
+  if (--flight_->waiters == 0 && !flight_->done) {
+    // Nobody wants this result anymore: stop the pipeline before it
+    // spends further crowd dollars.
+    flight_->cancel.Cancel();
+  }
+}
+
+SchemaExpansionResult ExpansionService::Ticket::Wait() {
+  if (resolved_ || flight_ == nullptr) return result_;
+  std::unique_lock<std::mutex> lock(service_->mu_);
+  for (;;) {
+    if (flight_->done) {
+      result_ = flight_->result;
+      --flight_->waiters;
+      resolved_ = true;
+      return result_;
+    }
+    if (waiter_stop_.ShouldStop()) {
+      // This waiter gives up; the flight keeps running unless it was the
+      // last one (see Abandon's inline logic below).
+      result_ = SchemaExpansionResult{};
+      result_.status = waiter_stop_.ToStatus("wait for expansion");
+      resolved_ = true;
+      if (--flight_->waiters == 0) flight_->cancel.Cancel();
+      return result_;
+    }
+    // Polling wait: StopCondition carries no waitable handle, and the
+    // flight signals `cv` on completion — 2 ms bounds the stop-detection
+    // latency without burning a core.
+    flight_->cv.wait_for(lock, std::chrono::milliseconds(2));
+  }
+}
+
+// --- ExpansionService -----------------------------------------------------
+
+ExpansionService::ExpansionService(const PerceptualSpace& space,
+                                   crowd::WorkerPool pool,
+                                   ExpansionServiceOptions options)
+    : space_(space),
+      pool_(std::move(pool)),
+      options_(options),
+      workers_(options.workers) {
+  CCDB_CHECK_GE(options_.workers, std::size_t{1});
+  CCDB_CHECK_GE(options_.queue_depth, std::size_t{1});
+  CCDB_CHECK(options_.crowd_deadline_fraction > 0.0 &&
+             options_.crowd_deadline_fraction <= 1.0);
+  CCDB_CHECK_GE(options_.breaker_failure_threshold, std::size_t{1});
+  CCDB_CHECK_GE(options_.breaker_cooldown_seconds, 0.0);
+}
+
+ExpansionService::~ExpansionService() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+    for (auto& [key, flight] : inflight_) flight->cancel.Cancel();
+  }
+  // workers_ (declared last) is destroyed first: it drains the queue and
+  // joins. Queued flights still run, observe their fired token, and
+  // resolve Cancelled — waiters are woken, never stranded.
+}
+
+StatusOr<ExpansionService::Ticket> ExpansionService::ExpandAttribute(
+    ExpansionJob job) {
+  const std::uint64_t key = ExpansionJobFingerprint(job);
+  const double budget = job.deadline_seconds > 0.0
+                            ? job.deadline_seconds
+                            : options_.default_deadline_seconds;
+  const Deadline waiter_deadline = Deadline::AfterSeconds(budget);
+  const StopCondition waiter_stop(job.cancel, waiter_deadline);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.submitted;
+  if (shutting_down_) {
+    ++stats_.shed;
+    return Status::Unavailable("expansion service is shutting down");
+  }
+
+  // Single-flight: an identical expansion already in flight is joined for
+  // free — crowd dollars for one answer are spent exactly once.
+  if (auto it = inflight_.find(key); it != inflight_.end()) {
+    ++stats_.deduped;
+    ++it->second->waiters;
+    return Ticket(this, it->second, waiter_stop);
+  }
+
+  // Circuit breaker: a platform that keeps failing is left alone for a
+  // cooldown, then probed with a single request.
+  bool is_probe = false;
+  if (breaker_ == BreakerState::kOpen) {
+    if (!breaker_reopen_.Expired()) {
+      ++stats_.breaker_rejected;
+      return Status::Unavailable("expansion circuit breaker is open");
+    }
+    breaker_ = BreakerState::kHalfOpen;
+    probe_inflight_ = false;
+  }
+  if (breaker_ == BreakerState::kHalfOpen) {
+    if (probe_inflight_) {
+      ++stats_.breaker_rejected;
+      return Status::Unavailable(
+          "expansion circuit breaker is half-open (probe in flight)");
+    }
+    is_probe = true;
+  }
+
+  auto flight = std::make_shared<Flight>();
+  flight->job = std::move(job);
+  flight->key = key;
+  flight->is_probe = is_probe;
+  flight->waiters = 1;
+  flight->total_deadline = Deadline::AfterSeconds(budget);
+  flight->crowd_deadline =
+      Deadline::AfterSeconds(budget * options_.crowd_deadline_fraction);
+
+  if (!workers_.TryEnqueue([this, flight] { RunFlight(flight); },
+                           options_.queue_depth)) {
+    ++stats_.shed;
+    return Status::ResourceExhausted("expansion admission queue is full");
+  }
+  ++stats_.admitted;
+  ++active_flights_;
+  if (is_probe) {
+    probe_inflight_ = true;
+    ++stats_.breaker_probes;
+  }
+  inflight_.emplace(key, flight);
+  return Ticket(this, std::move(flight), waiter_stop);
+}
+
+void ExpansionService::RunFlight(const std::shared_ptr<Flight>& flight) {
+  // `job` and the deadlines are immutable once the flight is published,
+  // so the pipeline below runs without the service mutex.
+  const ExpansionJob& job = flight->job;
+  const StopCondition flight_stop(flight->cancel.token(),
+                                  flight->total_deadline);
+
+  // Deadline split: the crowd stage gets the narrower budget and its
+  // expiry is best-effort (the dispatcher returns the judgments already
+  // bought); training and extraction run under the full budget, where
+  // expiry aborts the flight.
+  ResilientExpansionOptions expansion = job.expansion;
+  expansion.stop = flight_stop;
+  expansion.dispatcher.stop = StopCondition(
+      flight->cancel.token(),
+      Deadline::Earlier(flight->crowd_deadline, flight->total_deadline));
+
+  SchemaExpansionRequest request = job.request;
+  request.extractor.smo.stop = flight_stop;
+
+  SchemaExpansionResult result = ExpandSchemaResilient(
+      space_, request, pool_, job.hit_config, job.sample_truth, expansion);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.expansions_run;
+  stats_.crowd_dollars_spent += result.crowd_dollars;
+  flight->result = std::move(result);
+  FinishFlightLocked(*flight, flight->result.status);
+}
+
+void ExpansionService::FinishFlightLocked(Flight& flight, Status status) {
+  UpdateBreakerLocked(flight, status);
+  switch (status.code()) {
+    case StatusCode::kOk:
+      ++stats_.completed;
+      break;
+    case StatusCode::kCancelled:
+      ++stats_.cancelled;
+      break;
+    case StatusCode::kDeadlineExceeded:
+      ++stats_.deadline_exceeded;
+      break;
+    default:
+      ++stats_.failed;
+      break;
+  }
+  flight.done = true;
+  inflight_.erase(flight.key);
+  --active_flights_;
+  flight.cv.notify_all();
+  drain_cv_.notify_all();
+}
+
+void ExpansionService::UpdateBreakerLocked(const Flight& flight,
+                                           const Status& status) {
+  // Cancellations, deadline expiries and caller mistakes say nothing
+  // about the platform's health — they neither trip nor heal the breaker.
+  const bool relevant_failure =
+      status.code() == StatusCode::kOutOfRange ||
+      status.code() == StatusCode::kFailedPrecondition ||
+      status.code() == StatusCode::kInternal;
+  if (status.ok()) {
+    consecutive_failures_ = 0;
+    if (flight.is_probe) {
+      probe_inflight_ = false;
+      breaker_ = BreakerState::kClosed;
+      ++stats_.breaker_recoveries;
+    }
+  } else if (relevant_failure) {
+    ++consecutive_failures_;
+    if (flight.is_probe) {
+      probe_inflight_ = false;
+      breaker_ = BreakerState::kOpen;
+      breaker_reopen_ =
+          Deadline::AfterSeconds(options_.breaker_cooldown_seconds);
+      ++stats_.breaker_trips;
+    } else if (breaker_ == BreakerState::kClosed &&
+               consecutive_failures_ >= options_.breaker_failure_threshold) {
+      breaker_ = BreakerState::kOpen;
+      breaker_reopen_ =
+          Deadline::AfterSeconds(options_.breaker_cooldown_seconds);
+      ++stats_.breaker_trips;
+    }
+  } else if (flight.is_probe) {
+    // Neutral probe outcome: stay half-open and let the next request
+    // probe again.
+    probe_inflight_ = false;
+  }
+}
+
+void ExpansionService::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  drain_cv_.wait(lock, [this] { return active_flights_ == 0; });
+}
+
+ServiceStats ExpansionService::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+BreakerState ExpansionService::breaker_state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return breaker_;
+}
+
+}  // namespace ccdb::core

@@ -1,10 +1,10 @@
 #include "core/perceptual_space.h"
 
-#include <cstdio>
 #include <cstring>
-#include <memory>
+#include <string_view>
 
 #include "common/check.h"
+#include "common/journal.h"
 #include "common/vec.h"
 
 namespace ccdb::core {
@@ -76,78 +76,117 @@ double PerceptualSpace::CoordinateVariance() const {
 
 namespace {
 
-constexpr char kMagic[8] = {'C', 'C', 'D', 'B', 'P', 'S', '0', '1'};
+// Format v02: [magic][payload][u32 crc32(payload)][u64 payload_len]. The
+// trailer detects truncated or bit-rotted files (a torn cache previously
+// deserialized garbage coordinates); the atomic write means readers never
+// observe a half-written file. v01 files (no trailer) fail validation and
+// are silently rebuilt by the bench cache.
+constexpr char kMagic[8] = {'C', 'C', 'D', 'B', 'P', 'S', '0', '2'};
+constexpr std::size_t kTrailerBytes = sizeof(std::uint32_t) +
+                                      sizeof(std::uint64_t);
 
-// RAII FILE handle (the library is exception-free, so no fstream).
-struct FileCloser {
-  void operator()(std::FILE* file) const {
-    if (file != nullptr) std::fclose(file);
-  }
-};
-using FileHandle = std::unique_ptr<std::FILE, FileCloser>;
+void AppendRaw(std::string& out, const void* data, std::size_t bytes) {
+  out.append(static_cast<const char*>(data), bytes);
+}
+
+template <typename T>
+void AppendValue(std::string& out, T value) {
+  AppendRaw(out, &value, sizeof(value));
+}
+
+template <typename T>
+bool ReadValue(std::string_view bytes, std::size_t& pos, T& value) {
+  if (bytes.size() - pos < sizeof(value)) return false;
+  std::memcpy(&value, bytes.data() + pos, sizeof(value));
+  pos += sizeof(value);
+  return true;
+}
 
 }  // namespace
 
 Status PerceptualSpace::SaveToFile(const std::string& path) const {
-  FileHandle file(std::fopen(path.c_str(), "wb"));
-  if (file == nullptr) {
-    return Status::Internal("cannot open for writing: " + path);
-  }
-  const std::uint64_t num_items_u64 = num_items();
-  const std::uint64_t dims_u64 = dims();
-  const std::uint64_t has_bias = item_bias_.empty() ? 0 : 1;
-  bool ok = std::fwrite(kMagic, sizeof(kMagic), 1, file.get()) == 1;
-  ok = ok && std::fwrite(&num_items_u64, sizeof(num_items_u64), 1,
-                         file.get()) == 1;
-  ok = ok && std::fwrite(&dims_u64, sizeof(dims_u64), 1, file.get()) == 1;
-  ok = ok && std::fwrite(&has_bias, sizeof(has_bias), 1, file.get()) == 1;
-  ok = ok && std::fwrite(&global_mean_, sizeof(global_mean_), 1,
-                         file.get()) == 1;
+  std::string payload;
   const auto coords = item_coords_.Data();
-  ok = ok && (coords.empty() ||
-              std::fwrite(coords.data(), sizeof(double), coords.size(),
-                          file.get()) == coords.size());
-  if (has_bias != 0) {
-    ok = ok && std::fwrite(item_bias_.data(), sizeof(double),
-                           item_bias_.size(),
-                           file.get()) == item_bias_.size();
+  payload.reserve(4 * sizeof(std::uint64_t) +
+                  sizeof(double) * (coords.size() + item_bias_.size()));
+  AppendValue<std::uint64_t>(payload, num_items());
+  AppendValue<std::uint64_t>(payload, dims());
+  AppendValue<std::uint64_t>(payload, item_bias_.empty() ? 0 : 1);
+  AppendValue<double>(payload, global_mean_);
+  if (!coords.empty()) {
+    AppendRaw(payload, coords.data(), coords.size() * sizeof(double));
   }
-  if (!ok) return Status::Internal("short write to " + path);
-  return Status::Ok();
+  if (!item_bias_.empty()) {
+    AppendRaw(payload, item_bias_.data(), item_bias_.size() * sizeof(double));
+  }
+
+  std::string file_bytes;
+  file_bytes.reserve(sizeof(kMagic) + payload.size() + kTrailerBytes);
+  file_bytes.append(kMagic, sizeof(kMagic));
+  file_bytes += payload;
+  AppendValue<std::uint32_t>(file_bytes, Crc32(payload));
+  AppendValue<std::uint64_t>(file_bytes, payload.size());
+  return AtomicWriteFile(path, file_bytes);
 }
 
 StatusOr<PerceptualSpace> PerceptualSpace::LoadFromFile(
     const std::string& path) {
-  FileHandle file(std::fopen(path.c_str(), "rb"));
-  if (file == nullptr) {
-    return Status::NotFound("cannot open: " + path);
-  }
-  char magic[8];
-  if (std::fread(magic, sizeof(magic), 1, file.get()) != 1 ||
-      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+  StatusOr<std::string> bytes_or = ReadFileToString(path);
+  if (!bytes_or.ok()) return bytes_or.status();
+  const std::string& bytes = bytes_or.value();
+  if (bytes.size() < sizeof(kMagic) + kTrailerBytes ||
+      std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
     return Status::InvalidArgument("not a perceptual-space file: " + path);
   }
+  const std::string_view payload(bytes.data() + sizeof(kMagic),
+                                 bytes.size() - sizeof(kMagic) -
+                                     kTrailerBytes);
+  std::size_t trailer_pos = sizeof(kMagic) + payload.size();
+  std::uint32_t stored_crc = 0;
+  std::uint64_t stored_len = 0;
+  ReadValue(bytes, trailer_pos, stored_crc);
+  ReadValue(bytes, trailer_pos, stored_len);
+  if (stored_len != payload.size()) {
+    return Status::InvalidArgument("perceptual-space file truncated: " +
+                                   path);
+  }
+  if (stored_crc != Crc32(payload)) {
+    return Status::InvalidArgument("perceptual-space file corrupt: " + path);
+  }
+
+  std::size_t pos = 0;
   std::uint64_t num_items = 0, dims = 0, has_bias = 0;
   double global_mean = 0.0;
-  if (std::fread(&num_items, sizeof(num_items), 1, file.get()) != 1 ||
-      std::fread(&dims, sizeof(dims), 1, file.get()) != 1 ||
-      std::fread(&has_bias, sizeof(has_bias), 1, file.get()) != 1 ||
-      std::fread(&global_mean, sizeof(global_mean), 1, file.get()) != 1) {
+  if (!ReadValue(payload, pos, num_items) || !ReadValue(payload, pos, dims) ||
+      !ReadValue(payload, pos, has_bias) ||
+      !ReadValue(payload, pos, global_mean)) {
     return Status::InvalidArgument("truncated header in " + path);
+  }
+  const std::uint64_t avail = (payload.size() - pos) / sizeof(double);
+  if (num_items != 0 && dims > avail / num_items) {
+    return Status::InvalidArgument("perceptual-space payload size mismatch: " +
+                                   path);
+  }
+  const std::uint64_t expected =
+      num_items * dims + (has_bias != 0 ? num_items : 0);
+  if (payload.size() - pos != expected * sizeof(double)) {
+    return Status::InvalidArgument("perceptual-space payload size mismatch: " +
+                                   path);
   }
   Matrix coords(num_items, dims);
   auto data = coords.Data();
-  if (!data.empty() && std::fread(data.data(), sizeof(double), data.size(),
-                                  file.get()) != data.size()) {
-    return Status::InvalidArgument("truncated coordinates in " + path);
+  if (!data.empty()) {
+    std::memcpy(data.data(), payload.data() + pos,
+                data.size() * sizeof(double));
+    pos += data.size() * sizeof(double);
   }
   if (has_bias == 0) {
     return PerceptualSpace(std::move(coords));
   }
   std::vector<double> bias(num_items);
-  if (num_items > 0 && std::fread(bias.data(), sizeof(double), bias.size(),
-                                  file.get()) != bias.size()) {
-    return Status::InvalidArgument("truncated biases in " + path);
+  if (num_items > 0) {
+    std::memcpy(bias.data(), payload.data() + pos,
+                bias.size() * sizeof(double));
   }
   return PerceptualSpace(std::move(coords), std::move(bias), global_mean);
 }

@@ -71,6 +71,13 @@ StatusOr<DispatchResult> Dispatcher::RunWith(
 
   const std::size_t num_items = true_labels.size();
   DispatchResult result;
+  // A stop that fired before anything was posted: return empty-handed
+  // without spending a cent.
+  if (config_.stop.ShouldStop()) {
+    result.stop_status = config_.stop.ToStatus("dispatch");
+    result.stats.timed_out_items += num_items;
+    return result;
+  }
   std::unordered_set<std::uint64_t> seen;
   // Distinct non-gold judgments that arrived before their posting deadline.
   std::vector<std::size_t> on_time(num_items, 0);
@@ -142,6 +149,17 @@ StatusOr<DispatchResult> Dispatcher::RunWith(
     }
     if (deficient.empty()) break;
     result.stats.timed_out_items += deficient.size();
+
+    // Bugfix: an already-expired wall-clock deadline (or a cancellation)
+    // used to be ignored here — once backoff_initial_minutes was
+    // configured, every repost round waited unconditionally. Respect the
+    // stop signal before committing to the backoff wait + repost: return
+    // the best-effort results immediately with the deficits above already
+    // accounted as timed_out_items.
+    if (config_.stop.ShouldStop()) {
+      result.stop_status = config_.stop.ToStatus("dispatch repost wait");
+      break;
+    }
 
     // Exponential backoff after the expired deadline before reposting.
     const double backoff =

@@ -6,6 +6,7 @@
 #include <limits>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/status.h"
 #include "crowd/platform.h"
 
@@ -38,6 +39,15 @@ struct DispatcherConfig {
   /// Keep gold questions in repost rounds (default off: screening already
   /// happened in the primary posting, reposts spend every cent on signal).
   bool gold_in_reposts = false;
+  /// Wall-clock stop signal (cancellation token OR deadline), probed
+  /// before the primary posting and before every repost round. The
+  /// simulated backoff/deadline knobs above reason in *crowd* minutes;
+  /// this one bounds *caller* wall time: when it fires the dispatcher
+  /// stops waiting, accounts the remaining deficits as timed_out_items,
+  /// and returns best-effort results with DispatchResult::stop_status
+  /// set instead of issuing further (money-spending) rounds. The default
+  /// never fires.
+  StopCondition stop;
 };
 
 /// Structured accounting of one dispatch, for dashboards and benches.
@@ -105,6 +115,11 @@ struct DispatchResult {
   double total_minutes = 0.0;
   double total_cost_dollars = 0.0;
   DispatchStats stats;
+  /// Ok when the dispatch ran to completion; Cancelled / DeadlineExceeded
+  /// when DispatcherConfig::stop fired first. The judgments collected up
+  /// to the stop point are returned either way (best-effort, already paid
+  /// for).
+  Status stop_status;
 };
 
 /// Validates dispatcher policy knobs (finite positive backoff, sane caps).

@@ -77,6 +77,10 @@ StatusOr<AlsReport> TrainAls(const AlsTrainerConfig& config,
 
   AlsReport report;
   for (int sweep = 0; sweep < config.sweeps; ++sweep) {
+    if (config.stop.ShouldStop()) {
+      report.stop_status = config.stop.ToStatus("ALS training");
+      break;
+    }
     // Item biases, then user biases (each closed form given the rest).
     pool.ParallelFor(0, data.num_items(), [&](std::size_t m) {
       model.mutable_item_bias()[m] = SolveBias(
@@ -108,7 +112,8 @@ StatusOr<AlsReport> TrainAls(const AlsTrainerConfig& config,
     ++report.sweeps_run;
     report.rmse_per_sweep.push_back(model.EvaluateRmse(data));
   }
-  report.final_rmse = report.rmse_per_sweep.back();
+  report.final_rmse =
+      report.rmse_per_sweep.empty() ? 0.0 : report.rmse_per_sweep.back();
   return report;
 }
 

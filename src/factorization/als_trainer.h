@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/status.h"
 #include "factorization/factor_model.h"
 
@@ -22,12 +23,18 @@ struct AlsTrainerConfig {
   int sweeps = 10;
   /// Threads for the per-item/per-user solves (0 = hardware concurrency).
   std::size_t threads = 0;
+  /// Cooperative stop signal, probed at every sweep boundary; when it
+  /// fires the partial model stays in place and AlsReport::stop_status is
+  /// set. The default never fires.
+  StopCondition stop;
 };
 
 struct AlsReport {
   std::vector<double> rmse_per_sweep;
   int sweeps_run = 0;
   double final_rmse = 0.0;
+  /// Ok on completion; Cancelled / DeadlineExceeded when stop fired.
+  Status stop_status;
 };
 
 /// Runs ALS over `data`, mutating `model` in place. Returns

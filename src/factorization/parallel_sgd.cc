@@ -26,6 +26,10 @@ TrainingReport TrainSgdParallel(const ParallelSgdConfig& config,
   TrainingReport report;
   double lr = config.base.learning_rate;
   for (int epoch = 0; epoch < config.base.max_epochs; ++epoch) {
+    if (config.base.stop.ShouldStop()) {
+      report.stop_status = config.base.stop.ToStatus("parallel SGD training");
+      break;
+    }
     rng.Shuffle(order);
     const std::size_t shard_size = (order.size() + shards - 1) / shards;
     for (std::size_t shard = 0; shard < shards; ++shard) {

@@ -28,6 +28,10 @@ TrainingReport TrainSgd(const SgdTrainerConfig& config,
   int epochs_without_improvement = 0;
 
   for (int epoch = 0; epoch < config.max_epochs; ++epoch) {
+    if (config.stop.ShouldStop()) {
+      report.stop_status = config.stop.ToStatus("SGD training");
+      break;
+    }
     rng.Shuffle(split.train);
     for (std::size_t idx : split.train) {
       model.SgdStep(ratings[idx], lr);

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/sparse.h"
 #include "factorization/factor_model.h"
 
@@ -26,6 +27,11 @@ struct SgdTrainerConfig {
   /// improvement (only if validation_fraction > 0).
   int patience = 3;
   std::uint64_t seed = 7;
+  /// Cooperative stop signal, probed at every epoch boundary: when it
+  /// fires, training returns within one epoch with the partial model and
+  /// TrainingReport::stop_status set (Cancelled / DeadlineExceeded). The
+  /// default never fires.
+  StopCondition stop;
 };
 
 /// Per-epoch training telemetry returned by Train().
@@ -36,6 +42,10 @@ struct TrainingReport {
   bool early_stopped = false;
   double final_train_rmse = 0.0;
   double final_validation_rmse = 0.0;
+  /// Ok when training ran to completion (or early-stopped on validation);
+  /// Cancelled / DeadlineExceeded when SgdTrainerConfig::stop fired. The
+  /// partially-trained model is left in place either way.
+  Status stop_status;
 };
 
 /// Runs SGD over `data`, mutating `model` in place, and returns telemetry.

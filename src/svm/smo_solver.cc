@@ -49,6 +49,10 @@ SmoResult SolveSmo(const QMatrix& q, const std::vector<double>& p,
 
   for (result.iterations = 0; result.iterations < config.max_iterations;
        ++result.iterations) {
+    if (config.stop.ShouldStop()) {
+      result.stop_status = config.stop.ToStatus("SMO solve");
+      break;
+    }
     // First-order maximal violating pair.
     double max_up = -std::numeric_limits<double>::infinity();
     double min_low = std::numeric_limits<double>::infinity();

@@ -5,6 +5,9 @@
 #include <functional>
 #include <vector>
 
+#include "common/cancellation.h"
+#include "common/status.h"
+
 namespace ccdb::svm {
 
 /// Abstract view of the (signed) quadratic term Q of the SMO dual problem:
@@ -36,11 +39,18 @@ struct SmoResult {
   double rho = 0.0;
   std::size_t iterations = 0;
   bool converged = false;
+  /// Ok unless SmoConfig::stop fired mid-solve; the returned alpha is the
+  /// feasible (but unconverged) iterate at the stop point.
+  Status stop_status;
 };
 
 struct SmoConfig {
   double tolerance = 1e-3;
   std::size_t max_iterations = 200000;
+  /// Cooperative stop signal, probed once per outer iteration; when it
+  /// fires the solver returns the current feasible iterate within one
+  /// working-set update. The default never fires.
+  StopCondition stop;
 };
 
 /// Solves the dual. `initial_alpha` must be feasible; `p`, `y`, and

@@ -75,9 +75,15 @@ SvmModel TrainTsvm(const Matrix& labeled,
   double unlabeled_scale =
       std::min(1e-3, options.unlabeled_cost / options.cost);
   const double final_scale = options.unlabeled_cost / options.cost;
+  bool stopped = false;
   for (;;) {
     for (std::size_t sweep = 0; sweep < options.max_switches_per_level;
          ++sweep) {
+      if (options.stop.ShouldStop()) {
+        out.stop_status = options.stop.ToStatus("TSVM training");
+        stopped = true;
+        break;
+      }
       ClassifierOptions train_options;
       train_options.kernel = options.kernel;
       train_options.cost = options.cost;
@@ -119,7 +125,7 @@ SvmModel TrainTsvm(const Matrix& labeled,
       combined_labels[num_labeled + best_neg] = 1;
       ++out.label_switches;
     }
-    if (unlabeled_scale >= final_scale) break;
+    if (stopped || unlabeled_scale >= final_scale) break;
     unlabeled_scale = std::min(final_scale, unlabeled_scale * 2.0);
   }
 

@@ -22,6 +22,11 @@ struct TsvmOptions {
   /// Cap on label-switch retrains per cost level (safety bound).
   std::size_t max_switches_per_level = 10000;
   SmoConfig smo;
+  /// Cooperative stop for the outer label-switching loop, probed before
+  /// every retrain; compose with `smo.stop` to also abort inside a single
+  /// solve. When it fires the most recent model is returned and
+  /// TsvmReport::stop_status is set. The default never fires.
+  StopCondition stop;
 };
 
 /// Telemetry for the Sec. 5 runtime study: TSVM quality is comparable to
@@ -30,6 +35,8 @@ struct TsvmReport {
   std::size_t retrains = 0;
   std::size_t label_switches = 0;
   std::vector<std::int8_t> transductive_labels;  // final unlabeled labels
+  /// Ok on completion; Cancelled / DeadlineExceeded when stop fired.
+  Status stop_status;
 };
 
 /// Trains a TSVM: an inductive SVM on `labeled` seeds labels for

@@ -2,8 +2,10 @@
 
 #include <atomic>
 #include <cmath>
+#include <mutex>
 #include <set>
 #include <sstream>
+#include <thread>
 
 #include "common/cholesky.h"
 #include "common/csv.h"
@@ -436,6 +438,41 @@ TEST(ThreadPoolTest, SubmitAndWait) {
 TEST(ThreadPoolTest, EmptyRangeIsNoop) {
   ThreadPool pool(2);
   pool.ParallelFor(5, 5, [](std::size_t) { FAIL(); });
+}
+
+TEST(ThreadPoolTest, TryEnqueueRespectsTheBound) {
+  ThreadPool pool(1);
+  // Park the lone worker so queued tasks pile up deterministically.
+  std::mutex gate;
+  gate.lock();
+  pool.Submit([&gate] {
+    gate.lock();
+    gate.unlock();
+  });
+  // Give the worker a moment to dequeue the blocker (QueuedTasks counts
+  // only waiting tasks, not running ones).
+  while (pool.QueuedTasks() > 0) std::this_thread::yield();
+
+  std::atomic<int> counter{0};
+  const auto task = [&counter] { ++counter; };
+  EXPECT_TRUE(pool.TryEnqueue(task, 2));
+  EXPECT_TRUE(pool.TryEnqueue(task, 2));
+  // Queue holds 2 waiting tasks: a bound of 2 rejects, a bound of 3
+  // still admits.
+  EXPECT_EQ(pool.QueuedTasks(), 2u);
+  EXPECT_FALSE(pool.TryEnqueue(task, 2));
+  EXPECT_TRUE(pool.TryEnqueue(task, 3));
+
+  gate.unlock();
+  pool.Wait();
+  // Exactly the three admitted tasks ran; the shed one never did.
+  EXPECT_EQ(counter.load(), 3);
+  EXPECT_EQ(pool.QueuedTasks(), 0u);
+}
+
+TEST(ThreadPoolTest, TryEnqueueZeroBoundAlwaysSheds) {
+  ThreadPool pool(2);
+  EXPECT_FALSE(pool.TryEnqueue([] {}, 0));
 }
 
 TEST(ThreadPoolTest, NestedSubmitFromTask) {

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <numeric>
 
+#include "common/journal.h"
 #include "common/rng.h"
 #include "common/vec.h"
 #include "core/expansion.h"
@@ -224,6 +225,53 @@ TEST(PerceptualSpaceIo, LoadRejectsGarbage) {
   std::fclose(f);
   EXPECT_FALSE(PerceptualSpace::LoadFromFile(path).ok());
   EXPECT_FALSE(PerceptualSpace::LoadFromFile("/nonexistent/nope").ok());
+}
+
+TEST_F(PerceptualSpaceFixture, LoadRejectsFlippedPayloadByte) {
+  const std::string path = ::testing::TempDir() + "/space_corrupt.bin";
+  ASSERT_TRUE(space_->SaveToFile(path).ok());
+  StatusOr<std::string> bytes = ReadFileToString(path);
+  ASSERT_TRUE(bytes.ok());
+  std::string corrupted = std::move(bytes).value();
+  // Flip one coordinate byte in the middle of the payload: the length
+  // checks all pass, only the CRC can catch it.
+  corrupted[corrupted.size() / 2] ^= 0x40;
+  ASSERT_TRUE(AtomicWriteFile(path, corrupted).ok());
+  const auto loaded = PerceptualSpace::LoadFromFile(path);
+  ASSERT_FALSE(loaded.ok());
+  // A bench cache hit distinguishes "no cache" (rebuild silently) from
+  // "rejected cache" (rebuild loudly); corruption must be the latter.
+  EXPECT_NE(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(PerceptualSpaceFixture, LoadRejectsTruncatedFile) {
+  const std::string path = ::testing::TempDir() + "/space_truncated.bin";
+  ASSERT_TRUE(space_->SaveToFile(path).ok());
+  StatusOr<std::string> bytes = ReadFileToString(path);
+  ASSERT_TRUE(bytes.ok());
+  const std::string& full = bytes.value();
+  // A torn write can cut the file anywhere; every prefix must be
+  // rejected, never crash or load garbage.
+  for (const double fraction : {0.1, 0.5, 0.9, 0.999}) {
+    const auto cut =
+        static_cast<std::string::size_type>(full.size() * fraction);
+    ASSERT_TRUE(AtomicWriteFile(path, full.substr(0, cut)).ok());
+    EXPECT_FALSE(PerceptualSpace::LoadFromFile(path).ok())
+        << "prefix of " << cut << " bytes";
+  }
+}
+
+TEST_F(PerceptualSpaceFixture, LoadRejectsStaleFormatMagic) {
+  const std::string path = ::testing::TempDir() + "/space_stale.bin";
+  ASSERT_TRUE(space_->SaveToFile(path).ok());
+  StatusOr<std::string> bytes = ReadFileToString(path);
+  ASSERT_TRUE(bytes.ok());
+  std::string stale = std::move(bytes).value();
+  // A cache written by an older build (different magic) must be refused
+  // up front, so benches fall back to recomputing the space.
+  stale.replace(0, 8, "CCDBPS01");
+  ASSERT_TRUE(AtomicWriteFile(path, stale).ok());
+  EXPECT_FALSE(PerceptualSpace::LoadFromFile(path).ok());
 }
 
 // ------------------------------------------------------------- extractor
