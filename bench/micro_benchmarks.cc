@@ -6,7 +6,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cmath>
+
 #include "common/rng.h"
+#include "common/vec.h"
 #include "core/extractor.h"
 #include "core/perceptual_space.h"
 #include "crowd/aggregation.h"
@@ -149,6 +153,287 @@ void BM_LsiBuild(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LsiBuild);
+
+// ---------------------------------------------------------------------
+// Paper-scale numeric-core pairs. Each *Scalar benchmark re-implements the
+// pre-vectorization algorithm (single-accumulator loops, per-item kernel
+// evaluation, sqrt per kNN candidate, serial sweeps) so BENCH_perf.json
+// can report before/after speedups from one binary; the paired benchmark
+// runs the shipped batched/norm-trick/parallel path. Scale follows the
+// paper's MovieLens setup: d = 40 factor dimensions, ~10k items.
+
+constexpr std::size_t kPaperItems = 10000;
+constexpr std::size_t kPaperDims = 40;
+constexpr std::size_t kPaperSvs = 400;
+
+/// 10k×40 item-coordinate matrix (drawn directly rather than SGD-trained:
+/// these benchmarks time the numeric core, not the factorization).
+const Matrix& PaperScalePoints() {
+  static const Matrix* const kPoints = [] {
+    Rng rng(71);
+    auto* points = new Matrix(kPaperItems, kPaperDims);
+    points->FillGaussian(rng, 0.0, 1.0);
+    return points;
+  }();
+  return *kPoints;
+}
+
+struct SyntheticExpansion {
+  Matrix svs;
+  std::vector<double> coefficients;
+  double rho = 0.3;
+  svm::KernelConfig kernel;
+  svm::SvmModel model;
+};
+
+const SyntheticExpansion& PaperScaleExpansion() {
+  static const SyntheticExpansion* const kExpansion = [] {
+    Rng rng(73);
+    auto* e = new SyntheticExpansion();
+    e->svs = Matrix(kPaperSvs, kPaperDims);
+    e->svs.FillGaussian(rng, 0.0, 1.0);
+    e->coefficients.resize(kPaperSvs);
+    for (auto& c : e->coefficients) c = rng.Gaussian(0.0, 0.7);
+    e->kernel.type = svm::KernelType::kRbf;
+    e->kernel.gamma = 1.0 / static_cast<double>(kPaperDims);
+    e->model = svm::SvmModel(e->svs, e->coefficients, e->rho, e->kernel);
+    return e;
+  }();
+  return *kExpansion;
+}
+
+double ScalarDot(std::span<const double> x, std::span<const double> y) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) sum += x[i] * y[i];
+  return sum;
+}
+
+double ScalarSquaredDistance(std::span<const double> x,
+                             std::span<const double> y) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double diff = x[i] - y[i];
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+void BM_DotRowsScalar(benchmark::State& state) {
+  const Matrix& points = PaperScalePoints();
+  const auto x = points.Row(0);
+  std::vector<double> out(points.rows());
+  for (auto _ : state) {
+    for (std::size_t r = 0; r < points.rows(); ++r) {
+      out[r] = ScalarDot(points.Row(r), x);
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(points.rows()));
+}
+BENCHMARK(BM_DotRowsScalar);
+
+void BM_DotRowsBatched(benchmark::State& state) {
+  const Matrix& points = PaperScalePoints();
+  const auto x = points.Row(0);
+  std::vector<double> out(points.rows());
+  for (auto _ : state) {
+    DotBatch(points.Data(), points.rows(), points.cols(), x, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(points.rows()));
+}
+BENCHMARK(BM_DotRowsBatched);
+
+void BM_RbfKernelRowScalar(benchmark::State& state) {
+  // One Q-matrix-style kernel row: K(row_r, x) for all 10k rows, the
+  // pre-norm-trick way (one squared distance + exp per row).
+  const Matrix& points = PaperScalePoints();
+  const auto x = points.Row(0);
+  const double gamma = 1.0 / static_cast<double>(kPaperDims);
+  std::vector<double> out(points.rows());
+  for (auto _ : state) {
+    for (std::size_t r = 0; r < points.rows(); ++r) {
+      out[r] = std::exp(-gamma * ScalarSquaredDistance(points.Row(r), x));
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(points.rows()));
+}
+BENCHMARK(BM_RbfKernelRowScalar);
+
+void BM_RbfKernelRowNormTrick(benchmark::State& state) {
+  const Matrix& points = PaperScalePoints();
+  const auto x = points.Row(0);
+  svm::KernelConfig kernel;
+  kernel.type = svm::KernelType::kRbf;
+  kernel.gamma = 1.0 / static_cast<double>(kPaperDims);
+  std::vector<double> sq_norms(points.rows());
+  RowSquaredNorms(points.Data(), points.rows(), points.cols(), sq_norms);
+  const double x_sq_norm = SquaredNorm(x);
+  std::vector<double> out(points.rows());
+  for (auto _ : state) {
+    svm::EvalKernelBatch(kernel, points.Data(), points.rows(), points.cols(),
+                         sq_norms, x, x_sq_norm, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(points.rows()));
+}
+BENCHMARK(BM_RbfKernelRowNormTrick);
+
+void BM_RbfPredictAllScalar(benchmark::State& state) {
+  // The seed prediction path: per item, one scalar kernel evaluation per
+  // support vector — no batching, no norm trick, no threads.
+  const SyntheticExpansion& e = PaperScaleExpansion();
+  const Matrix& points = PaperScalePoints();
+  std::vector<bool> labels(points.rows());
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < points.rows(); ++i) {
+      const auto x = points.Row(i);
+      double decision = -e.rho;
+      for (std::size_t s = 0; s < kPaperSvs; ++s) {
+        decision += e.coefficients[s] *
+                    std::exp(-e.kernel.gamma *
+                             ScalarSquaredDistance(e.svs.Row(s), x));
+      }
+      labels[i] = decision >= 0.0;
+    }
+    benchmark::DoNotOptimize(&labels);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(points.rows()));
+}
+BENCHMARK(BM_RbfPredictAllScalar);
+
+void BM_RbfPredictAllBatched(benchmark::State& state) {
+  const SyntheticExpansion& e = PaperScaleExpansion();
+  const Matrix& points = PaperScalePoints();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(e.model.PredictAll(points));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(points.rows()));
+}
+BENCHMARK(BM_RbfPredictAllBatched);
+
+std::vector<eval::Neighbor> ScalarKnn(const Matrix& points,
+                                      std::size_t query, std::size_t k) {
+  // Seed kNN: one scalar distance *with sqrt* per candidate, heap on the
+  // rooted distance.
+  std::vector<eval::Neighbor> heap;
+  heap.reserve(k + 1);
+  const auto by_distance = [](const eval::Neighbor& a,
+                              const eval::Neighbor& b) {
+    return a.distance < b.distance;
+  };
+  const auto query_row = points.Row(query);
+  for (std::size_t i = 0; i < points.rows(); ++i) {
+    if (i == query) continue;
+    const double d = std::sqrt(ScalarSquaredDistance(points.Row(i),
+                                                     query_row));
+    if (heap.size() < k) {
+      heap.push_back({i, d});
+      std::push_heap(heap.begin(), heap.end(), by_distance);
+    } else if (!heap.empty() && d < heap.front().distance) {
+      std::pop_heap(heap.begin(), heap.end(), by_distance);
+      heap.back() = {i, d};
+      std::push_heap(heap.begin(), heap.end(), by_distance);
+    }
+  }
+  std::sort_heap(heap.begin(), heap.end(), by_distance);
+  return heap;
+}
+
+void BM_KnnQueryScalar(benchmark::State& state) {
+  const Matrix& points = PaperScalePoints();
+  std::size_t query = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ScalarKnn(points, query, 10));
+    query = (query + 1) % points.rows();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(points.rows()));
+}
+BENCHMARK(BM_KnnQueryScalar);
+
+void BM_KnnQueryBlocked(benchmark::State& state) {
+  const Matrix& points = PaperScalePoints();
+  std::size_t query = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval::KNearestNeighbors(points, query, 10));
+    query = (query + 1) % points.rows();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(points.rows()));
+}
+BENCHMARK(BM_KnnQueryBlocked);
+
+struct CoherenceFixture {
+  std::vector<std::vector<bool>> item_labels;
+  std::vector<std::size_t> queries;
+};
+
+const CoherenceFixture& PaperScaleCoherence() {
+  static const CoherenceFixture* const kFixture = [] {
+    Rng rng(79);
+    auto* f = new CoherenceFixture();
+    f->item_labels.resize(kPaperItems);
+    for (auto& labels : f->item_labels) {
+      labels.resize(5);
+      for (std::size_t g = 0; g < labels.size(); ++g) {
+        labels[g] = rng.Bernoulli(0.25);
+      }
+    }
+    for (std::size_t q = 0; q < 48; ++q) {
+      f->queries.push_back(q * (kPaperItems / 48));
+    }
+    return f;
+  }();
+  return *kFixture;
+}
+
+void BM_KnnCoherenceScalar(benchmark::State& state) {
+  // Seed coherence: serial query loop over scalar sqrt-per-candidate kNN.
+  const Matrix& points = PaperScalePoints();
+  const CoherenceFixture& fixture = PaperScaleCoherence();
+  const std::size_t k = 10;
+  for (auto _ : state) {
+    std::size_t matched = 0, counted = 0;
+    for (const std::size_t query : fixture.queries) {
+      const auto neighbors = ScalarKnn(points, query, k);
+      const auto& query_labels = fixture.item_labels[query];
+      for (const eval::Neighbor& n : neighbors) {
+        const auto& labels = fixture.item_labels[n.index];
+        bool shared = false;
+        for (std::size_t l = 0; l < labels.size() && !shared; ++l) {
+          shared = labels[l] && query_labels[l];
+        }
+        matched += shared ? 1 : 0;
+        ++counted;
+      }
+    }
+    benchmark::DoNotOptimize(static_cast<double>(matched) /
+                             static_cast<double>(counted));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(fixture.queries.size()));
+}
+BENCHMARK(BM_KnnCoherenceScalar);
+
+void BM_KnnCoherenceParallel(benchmark::State& state) {
+  const Matrix& points = PaperScalePoints();
+  const CoherenceFixture& fixture = PaperScaleCoherence();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval::NeighborLabelCoherence(
+        points, fixture.item_labels, fixture.queries, 10));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(fixture.queries.size()));
+}
+BENCHMARK(BM_KnnCoherenceParallel);
 
 }  // namespace
 

@@ -65,15 +65,41 @@ void ThreadPool::ParallelFor(std::size_t begin, std::size_t end,
   const std::size_t total = end - begin;
   const std::size_t chunks = std::min(total, workers_.size() * 4);
   const std::size_t chunk_size = (total + chunks - 1) / chunks;
+  // Per-call completion latch (not pool-wide Wait()): concurrent
+  // ParallelFor callers sharing one pool must not block on each other's
+  // unrelated tasks.
+  struct Latch {
+    std::mutex mutex;
+    std::condition_variable done;
+    std::size_t remaining = 0;
+  } latch;
+  std::size_t submitted = 0;
   for (std::size_t c = 0; c < chunks; ++c) {
+    if (begin + c * chunk_size >= end) break;
+    ++submitted;
+  }
+  latch.remaining = submitted;
+  for (std::size_t c = 0; c < submitted; ++c) {
     const std::size_t lo = begin + c * chunk_size;
-    if (lo >= end) break;
     const std::size_t hi = std::min(end, lo + chunk_size);
-    Submit([lo, hi, &body] {
+    Submit([lo, hi, &body, &latch] {
       for (std::size_t i = lo; i < hi; ++i) body(i);
+      // Notify under the lock: the waiter owns the latch and may destroy
+      // it the moment `remaining` reaches zero and the mutex is released.
+      std::unique_lock<std::mutex> lock(latch.mutex);
+      --latch.remaining;
+      latch.done.notify_one();
     });
   }
-  Wait();
+  std::unique_lock<std::mutex> lock(latch.mutex);
+  latch.done.wait(lock, [&latch] { return latch.remaining == 0; });
+}
+
+ThreadPool& SharedThreadPool() {
+  // Leaked on purpose: a static ThreadPool object would join its workers
+  // during static destruction, racing any other static that still submits.
+  static ThreadPool* const kPool = new ThreadPool();
+  return *kPool;
 }
 
 void ThreadPool::WorkerLoop() {

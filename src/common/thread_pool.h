@@ -71,6 +71,14 @@ class ThreadPool {
   bool shutting_down_ = false;
 };
 
+/// Process-wide pool shared by the batch numeric paths (SVM batch
+/// prediction, kNN coherence, whole-database extrapolation). Created
+/// lazily on first use and intentionally never destroyed, so its workers
+/// outlive every static destructor — callers may use it from any phase of
+/// the program. Tasks submitted here must never themselves block on this
+/// pool (no nested ParallelFor).
+ThreadPool& SharedThreadPool();
+
 }  // namespace ccdb
 
 #endif  // CCDB_COMMON_THREAD_POOL_H_

@@ -42,6 +42,18 @@ ExpansionCheckpoint ComputeExpansionCheckpoint(
     const std::vector<std::uint32_t>& sample_items,
     const std::vector<crowd::Judgment>& judgments, double now,
     const ExtractorOptions& extractor_options) {
+  std::optional<ExpansionCheckpoint> checkpoint = ComputeExpansionCheckpoint(
+      space, sample_items, judgments, now, extractor_options,
+      StopCondition());
+  CCDB_CHECK(checkpoint.has_value());  // default StopCondition never fires
+  return *std::move(checkpoint);
+}
+
+std::optional<ExpansionCheckpoint> ComputeExpansionCheckpoint(
+    const PerceptualSpace& space,
+    const std::vector<std::uint32_t>& sample_items,
+    const std::vector<crowd::Judgment>& judgments, double now,
+    const ExtractorOptions& extractor_options, const StopCondition& stop) {
   const std::size_t sample_size = sample_items.size();
   ExpansionCheckpoint checkpoint;
   checkpoint.minutes = now;
@@ -63,11 +75,12 @@ ExpansionCheckpoint ComputeExpansionCheckpoint(
   BinaryAttributeExtractor extractor(extractor_options);
   if (extractor.Train(space, training_items, training_labels)) {
     checkpoint.extractor_trained = true;
-    // Extract for the sample only (the experiment's universe).
-    checkpoint.extracted.resize(sample_size);
-    for (std::size_t i = 0; i < sample_size; ++i) {
-      checkpoint.extracted[i] = extractor.Extract(space, sample_items[i]);
-    }
+    // Extract for the sample only (the experiment's universe) in one
+    // batched sweep; abort the whole checkpoint if the stop fires inside.
+    std::optional<std::vector<bool>> extracted =
+        extractor.ExtractItems(space, sample_items, stop);
+    if (!extracted.has_value()) return std::nullopt;
+    checkpoint.extracted = *std::move(extracted);
   }
   return checkpoint;
 }
@@ -86,8 +99,14 @@ std::vector<ExpansionCheckpoint> RunIncrementalExpansion(
     // computed (each checkpoint is a complete partial result).
     if (options.stop.ShouldStop()) break;
     const double now = std::min(t, total_minutes);
-    ExpansionCheckpoint checkpoint = ComputeExpansionCheckpoint(
-        space, sample_items, judgments, now, options.extractor);
+    std::optional<ExpansionCheckpoint> maybe_checkpoint =
+        ComputeExpansionCheckpoint(space, sample_items, judgments, now,
+                                   options.extractor, options.stop);
+    // A stop that fires inside the extraction sweep behaves exactly like
+    // one at the boundary above: the partial checkpoint is discarded and
+    // the ones already completed are returned.
+    if (!maybe_checkpoint.has_value()) break;
+    ExpansionCheckpoint checkpoint = *std::move(maybe_checkpoint);
     // Budget caps: keep the checkpoint that crossed the cap (it reflects
     // the last money actually spent), then stop — partial results beat
     // none when the crowd run outlives its budget.
@@ -323,7 +342,17 @@ SchemaExpansionResult ExpandSchemaResilient(
                                           request.attribute_name + "'");
     return result;
   }
-  result.values = extractor.ExtractAll(space);
+  // The whole-database sweep probes the stop per block, so a deadline
+  // landing mid-extraction aborts within one block instead of after the
+  // last item.
+  std::optional<std::vector<bool>> values =
+      extractor.ExtractAll(space, options.stop);
+  if (!values.has_value()) {
+    result.status = options.stop.ToStatus("schema expansion of '" +
+                                          request.attribute_name + "'");
+    return result;
+  }
+  result.values = *std::move(values);
   result.success = true;
   result.status = Status::Ok();
   return result;

@@ -65,6 +65,17 @@ ExpansionCheckpoint ComputeExpansionCheckpoint(
     const std::vector<crowd::Judgment>& judgments, double now,
     const ExtractorOptions& extractor);
 
+/// Cancellation-aware variant: the batched extraction sweep probes `stop`
+/// per block of items, so a cancel lands within milliseconds even inside
+/// a large checkpoint. Returns nullopt when the stop fired mid-checkpoint;
+/// callers treat that exactly like a stop at the previous checkpoint
+/// boundary (partial checkpoints are never published).
+std::optional<ExpansionCheckpoint> ComputeExpansionCheckpoint(
+    const PerceptualSpace& space,
+    const std::vector<std::uint32_t>& sample_items,
+    const std::vector<crowd::Judgment>& judgments, double now,
+    const ExtractorOptions& extractor, const StopCondition& stop);
+
 /// Validates the inputs of the incremental loop (used by the Checked and
 /// durable variants): non-empty sample, positive interval, non-negative
 /// total time, judgments inside the sample.

@@ -62,10 +62,7 @@ bool BinaryAttributeExtractor::Train(const PerceptualSpace& space,
   // Calibrate probabilities on the gold sample (Platt scaling). Small
   // samples give a rough sigmoid, but it is monotone in the margin, which
   // is all the confidence-driven strategies need.
-  std::vector<double> decisions(examples.rows());
-  for (std::size_t i = 0; i < examples.rows(); ++i) {
-    decisions[i] = model_.DecisionValue(examples.Row(i));
-  }
+  const std::vector<double> decisions = model_.DecisionValues(examples);
   platt_ = svm::PlattScaler();
   platt_.Fit(decisions, signed_labels);
   return true;
@@ -90,6 +87,32 @@ bool BinaryAttributeExtractor::Extract(const PerceptualSpace& space,
 std::vector<bool> BinaryAttributeExtractor::ExtractAll(
     const PerceptualSpace& space) const {
   return model_.PredictAll(space.item_coords());
+}
+
+std::optional<std::vector<bool>> BinaryAttributeExtractor::ExtractAll(
+    const PerceptualSpace& space, const StopCondition& stop) const {
+  std::vector<double> decisions(space.num_items());
+  if (!model_.DecisionValuesInto(space.item_coords(), stop, decisions)) {
+    return std::nullopt;
+  }
+  std::vector<bool> labels(decisions.size());
+  for (std::size_t i = 0; i < decisions.size(); ++i) {
+    labels[i] = decisions[i] >= 0.0;
+  }
+  return labels;
+}
+
+std::optional<std::vector<bool>> BinaryAttributeExtractor::ExtractItems(
+    const PerceptualSpace& space, const std::vector<std::uint32_t>& items,
+    const StopCondition& stop) const {
+  const Matrix rows = space.GatherRows(items);
+  std::vector<double> decisions(rows.rows());
+  if (!model_.DecisionValuesInto(rows, stop, decisions)) return std::nullopt;
+  std::vector<bool> labels(decisions.size());
+  for (std::size_t i = 0; i < decisions.size(); ++i) {
+    labels[i] = decisions[i] >= 0.0;
+  }
+  return labels;
 }
 
 std::vector<double> BinaryAttributeExtractor::DecisionValues(
@@ -128,6 +151,15 @@ double NumericAttributeExtractor::Extract(const PerceptualSpace& space,
 std::vector<double> NumericAttributeExtractor::ExtractAll(
     const PerceptualSpace& space) const {
   return model_.PredictAll(space.item_coords());
+}
+
+std::optional<std::vector<double>> NumericAttributeExtractor::ExtractAll(
+    const PerceptualSpace& space, const StopCondition& stop) const {
+  std::vector<double> values(space.num_items());
+  if (!model_.PredictAllInto(space.item_coords(), stop, values)) {
+    return std::nullopt;
+  }
+  return values;
 }
 
 }  // namespace ccdb::core

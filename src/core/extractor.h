@@ -2,8 +2,10 @@
 #define CCDB_CORE_EXTRACTOR_H_
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "core/perceptual_space.h"
 #include "svm/classifier.h"
 #include "svm/platt.h"
@@ -56,8 +58,21 @@ class BinaryAttributeExtractor {
 
   /// Predicted labels for every item in the space — the schema-expansion
   /// fill step ("classify all two million movies without additional user
-  /// interaction").
+  /// interaction"). Batched: one support-vector sweep per item,
+  /// parallelized on the shared thread pool for large spaces.
   std::vector<bool> ExtractAll(const PerceptualSpace& space) const;
+
+  /// Cancellation-aware whole-database extraction: probes `stop` once per
+  /// block of items and returns nullopt when it fired mid-sweep.
+  std::optional<std::vector<bool>> ExtractAll(const PerceptualSpace& space,
+                                              const StopCondition& stop)
+      const;
+
+  /// Batched predictions for a subset of items (cancellation-aware);
+  /// returns nullopt when `stop` fired mid-sweep.
+  std::optional<std::vector<bool>> ExtractItems(
+      const PerceptualSpace& space, const std::vector<std::uint32_t>& items,
+      const StopCondition& stop = {}) const;
 
   /// Signed decision values for every item (used by ranking queries).
   std::vector<double> DecisionValues(const PerceptualSpace& space) const;
@@ -94,6 +109,12 @@ class NumericAttributeExtractor {
 
   double Extract(const PerceptualSpace& space, std::uint32_t item) const;
   std::vector<double> ExtractAll(const PerceptualSpace& space) const;
+
+  /// Cancellation-aware whole-database extraction; nullopt when `stop`
+  /// fired mid-sweep.
+  std::optional<std::vector<double>> ExtractAll(const PerceptualSpace& space,
+                                                const StopCondition& stop)
+      const;
 
   const svm::SvrModel& model() const { return model_; }
 

@@ -59,17 +59,27 @@ double PerceptualSpace::CoordinateVariance() const {
   const std::size_t n = num_items();
   const std::size_t d = dims();
   if (n == 0 || d == 0) return 0.0;
+  // Two row-major passes (means, then squared deviations) so each row is
+  // streamed once per pass instead of strided column walks. Per column the
+  // summation order over rows is unchanged, so the result is bit-identical
+  // to the previous column-major form.
+  std::vector<double> mean(d, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto row = item_coords_.Row(i);
+    for (std::size_t c = 0; c < d; ++c) mean[c] += row[c];
+  }
+  for (std::size_t c = 0; c < d; ++c) mean[c] /= static_cast<double>(n);
+  std::vector<double> variance(d, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto row = item_coords_.Row(i);
+    for (std::size_t c = 0; c < d; ++c) {
+      const double diff = row[c] - mean[c];
+      variance[c] += diff * diff;
+    }
+  }
   double total_variance = 0.0;
   for (std::size_t c = 0; c < d; ++c) {
-    double mean = 0.0;
-    for (std::size_t i = 0; i < n; ++i) mean += item_coords_(i, c);
-    mean /= static_cast<double>(n);
-    double variance = 0.0;
-    for (std::size_t i = 0; i < n; ++i) {
-      const double diff = item_coords_(i, c) - mean;
-      variance += diff * diff;
-    }
-    total_variance += variance / static_cast<double>(n);
+    total_variance += variance[c] / static_cast<double>(n);
   }
   return total_variance / static_cast<double>(d);
 }

@@ -6,20 +6,25 @@
 #include <memory>
 
 #include "common/check.h"
+#include "common/vec.h"
+#include "svm/kernel_cache.h"
 
 namespace ccdb::svm {
 namespace {
 
-// Q matrix for C-SVC: Q_ij = y_i y_j K(x_i, x_j). Kernel rows are computed
-// lazily and memoized (problems in this library are small enough that all
-// touched rows fit in memory; SMO touches only a fraction of rows thanks to
-// the violating-pair selection).
+// Q matrix for C-SVC: Q_ij = y_i y_j K(x_i, x_j). Raw (sign-free) kernel
+// rows are produced by one norm-trick DotBatch sweep each and memoized in
+// a byte-bounded LRU cache; the label signs are applied during the copy
+// into the solver's buffer, so the cached payload is label-independent.
 class SvcQMatrix : public QMatrix {
  public:
   SvcQMatrix(const Matrix& examples, const std::vector<std::int8_t>& y,
-             const KernelConfig& kernel)
+             const KernelConfig& kernel, std::size_t cache_bytes)
       : examples_(examples), y_(y), kernel_(kernel),
-        cache_(examples.rows()), diagonal_(examples.rows()) {
+        sq_norms_(examples.rows()), diagonal_(examples.rows()),
+        cache_(examples.rows(), examples.rows(), cache_bytes) {
+    RowSquaredNorms(examples_.Data(), examples_.rows(), examples_.cols(),
+                    sq_norms_);
     for (std::size_t i = 0; i < examples_.rows(); ++i) {
       diagonal_[i] = EvalKernel(kernel_, examples_.Row(i), examples_.Row(i));
     }
@@ -28,32 +33,30 @@ class SvcQMatrix : public QMatrix {
   std::size_t size() const override { return examples_.rows(); }
 
   void GetRow(std::size_t i, std::vector<double>& row) const override {
-    const std::vector<double>& cached = RowRef(i);
-    row.assign(cached.begin(), cached.end());
+    const std::span<const double> kernel_row =
+        cache_.Row(i, [this](std::size_t r, std::span<double> out) {
+          EvalKernelBatch(kernel_, examples_.Data(), examples_.rows(),
+                          examples_.cols(), sq_norms_, examples_.Row(r),
+                          sq_norms_[r], out);
+        });
+    row.resize(kernel_row.size());
+    const double y_i = static_cast<double>(y_[i]);
+    for (std::size_t j = 0; j < kernel_row.size(); ++j) {
+      row[j] = y_i * static_cast<double>(y_[j]) * kernel_row[j];
+    }
   }
 
   double Diagonal(std::size_t i) const override { return diagonal_[i]; }
 
- private:
-  const std::vector<double>& RowRef(std::size_t i) const {
-    std::unique_ptr<std::vector<double>>& slot = cache_[i];
-    if (slot == nullptr) {
-      slot = std::make_unique<std::vector<double>>(examples_.rows());
-      const auto x_i = examples_.Row(i);
-      const double y_i = static_cast<double>(y_[i]);
-      for (std::size_t j = 0; j < examples_.rows(); ++j) {
-        (*slot)[j] = y_i * static_cast<double>(y_[j]) *
-                     EvalKernel(kernel_, x_i, examples_.Row(j));
-      }
-    }
-    return *slot;
-  }
+  const KernelCacheStats& cache_stats() const { return cache_.stats(); }
 
+ private:
   const Matrix& examples_;
   const std::vector<std::int8_t>& y_;
   KernelConfig kernel_;
-  mutable std::vector<std::unique_ptr<std::vector<double>>> cache_;
+  std::vector<double> sq_norms_;
   std::vector<double> diagonal_;
+  mutable KernelRowCache cache_;
 };
 
 }  // namespace
@@ -62,18 +65,21 @@ SvmModel::SvmModel(Matrix support_vectors, std::vector<double> coefficients,
                    double rho, KernelConfig kernel)
     : support_vectors_(std::move(support_vectors)),
       coefficients_(std::move(coefficients)),
+      sv_sq_norms_(support_vectors_.rows()),
       rho_(rho),
       kernel_(kernel) {
   CCDB_CHECK_EQ(support_vectors_.rows(), coefficients_.size());
+  RowSquaredNorms(support_vectors_.Data(), support_vectors_.rows(),
+                  support_vectors_.cols(), sv_sq_norms_);
 }
 
 double SvmModel::DecisionValue(std::span<const double> x) const {
   CCDB_CHECK(trained());
-  double value = -rho_;
-  for (std::size_t s = 0; s < support_vectors_.rows(); ++s) {
-    value += coefficients_[s] * EvalKernel(kernel_, support_vectors_.Row(s), x);
-  }
-  return value;
+  std::vector<double> kernel_row(support_vectors_.rows());
+  EvalKernelBatch(kernel_, support_vectors_.Data(), support_vectors_.rows(),
+                  support_vectors_.cols(), sv_sq_norms_, x, SquaredNorm(x),
+                  kernel_row);
+  return Dot(coefficients_, kernel_row) - rho_;
 }
 
 bool SvmModel::Predict(std::span<const double> x) const {
@@ -81,19 +87,27 @@ bool SvmModel::Predict(std::span<const double> x) const {
 }
 
 std::vector<bool> SvmModel::PredictAll(const Matrix& points) const {
-  std::vector<bool> predictions(points.rows());
-  for (std::size_t i = 0; i < points.rows(); ++i) {
-    predictions[i] = Predict(points.Row(i));
+  const std::vector<double> values = DecisionValues(points);
+  std::vector<bool> predictions(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    predictions[i] = values[i] >= 0.0;
   }
   return predictions;
 }
 
 std::vector<double> SvmModel::DecisionValues(const Matrix& points) const {
   std::vector<double> values(points.rows());
-  for (std::size_t i = 0; i < points.rows(); ++i) {
-    values[i] = DecisionValue(points.Row(i));
-  }
+  const bool completed = DecisionValuesInto(points, StopCondition(), values);
+  CCDB_CHECK(completed);  // the default StopCondition never fires
   return values;
+}
+
+bool SvmModel::DecisionValuesInto(const Matrix& points,
+                                  const StopCondition& stop,
+                                  std::span<double> out) const {
+  CCDB_CHECK(trained());
+  return EvalKernelExpansion(kernel_, support_vectors_, sv_sq_norms_,
+                             coefficients_, rho_, points, stop, out);
 }
 
 namespace {
@@ -205,7 +219,7 @@ SvmModel TrainClassifier(const Matrix& examples,
                  "need at least one example per class");
 
   const KernelConfig kernel = ResolveKernel(options.kernel, examples.cols());
-  SvcQMatrix q(examples, labels, kernel);
+  SvcQMatrix q(examples, labels, kernel, options.kernel_cache_bytes);
 
   std::vector<double> p(n, -1.0);
   std::vector<double> upper_bound(n, options.cost);

@@ -12,6 +12,11 @@
 
 namespace ccdb::svm {
 
+/// Default byte budget of the per-solver kernel-row cache (see
+/// svm/kernel_cache.h): 32 MiB holds every row of problems up to ~2000
+/// examples, and bounds memory at O(budget) instead of O(n²) beyond that.
+inline constexpr std::size_t kDefaultKernelCacheBytes = 32u << 20;
+
 /// Training options for the C-SVC classifier.
 struct ClassifierOptions {
   KernelConfig kernel;
@@ -20,6 +25,8 @@ struct ClassifierOptions {
   /// Optional per-example multipliers on C (empty = all 1). Used by the
   /// transductive SVM to weight unlabeled examples differently.
   std::vector<double> example_cost_scale;
+  /// Byte budget of the LRU kernel-row cache used during training.
+  std::size_t kernel_cache_bytes = kDefaultKernelCacheBytes;
   SmoConfig smo;
 };
 
@@ -32,16 +39,25 @@ class SvmModel {
            double rho, KernelConfig kernel);
 
   /// Signed decision value f(x); positive means the positive class.
+  /// Evaluated as one norm-trick sweep over the support vectors.
   double DecisionValue(std::span<const double> x) const;
 
   /// Class prediction: DecisionValue(x) >= 0.
   bool Predict(std::span<const double> x) const;
 
-  /// Predicts every row of `points`.
+  /// Predicts every row of `points` — batched (one support-vector sweep
+  /// per item) and parallelized on the shared thread pool for large
+  /// batches. Identical results to per-item Predict().
   std::vector<bool> PredictAll(const Matrix& points) const;
 
-  /// Decision values for every row of `points`.
+  /// Decision values for every row of `points` (batched, parallel).
   std::vector<double> DecisionValues(const Matrix& points) const;
+
+  /// Cancellation-aware batch evaluation: writes DecisionValue(points_i)
+  /// into out[i], probing `stop` once per block. Returns false when the
+  /// stop fired — out entries beyond the completed blocks are unspecified.
+  bool DecisionValuesInto(const Matrix& points, const StopCondition& stop,
+                          std::span<double> out) const;
 
   std::size_t num_support_vectors() const { return support_vectors_.rows(); }
   double rho() const { return rho_; }
@@ -59,6 +75,8 @@ class SvmModel {
  private:
   Matrix support_vectors_;
   std::vector<double> coefficients_;  // α_s · y_s for each support vector
+  std::vector<double> sv_sq_norms_;   // ‖sv_s‖², precomputed for the
+                                      // norm-trick RBF sweep
   double rho_ = 0.0;
   KernelConfig kernel_;
 };

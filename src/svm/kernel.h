@@ -3,6 +3,9 @@
 
 #include <span>
 
+#include "common/cancellation.h"
+#include "common/matrix.h"
+
 namespace ccdb::svm {
 
 /// Kernel families supported by the SVM machinery. The paper uses a
@@ -28,6 +31,38 @@ double EvalKernel(const KernelConfig& config, std::span<const double> x,
 
 /// Returns a copy of `config` with gamma resolved to 1/dims if it was auto.
 KernelConfig ResolveKernel(const KernelConfig& config, std::size_t dims);
+
+/// Evaluates K(rows_r, x) for every row of a row-major matrix block in one
+/// GEMV-like sweep: a single DotBatch pass followed by the per-family
+/// transform. For the RBF kernel the squared distance is reassembled via
+/// the norm trick
+///   ‖x − z‖² = ‖x‖² + ‖z‖² − 2·x·z
+/// from the precomputed `row_sq_norms` (‖rows_r‖², see RowSquaredNorms)
+/// and `x_sq_norm` (‖x‖²); cancellation can leave the reassembled value a
+/// few ulps negative, which is clamped to 0 before the exp. `row_sq_norms`
+/// is ignored by the linear and polynomial kernels (may be empty).
+void EvalKernelBatch(const KernelConfig& config, std::span<const double> rows,
+                     std::size_t num_rows, std::size_t cols,
+                     std::span<const double> row_sq_norms,
+                     std::span<const double> x, double x_sq_norm,
+                     std::span<double> out);
+
+/// Batched kernel-expansion machine evaluation:
+///   out[i] = Σ_s coefficients[s] · K(sv_s, points_i) − rho
+/// computed with one norm-trick sweep over the support vectors per item,
+/// blocked over items and parallelized on the shared thread pool when the
+/// batch is large enough to amortize the fan-out. `sv_sq_norms` must hold
+/// ‖sv_s‖² for every support-vector row (any content is accepted for
+/// non-RBF kernels). Probes `stop` once per block; returns false when it
+/// fired — entries of `out` beyond the blocks completed by then are
+/// unspecified. Every out[i] is computed independently, so results are
+/// identical whether the sweep ran serial or parallel.
+bool EvalKernelExpansion(const KernelConfig& config,
+                         const Matrix& support_vectors,
+                         std::span<const double> sv_sq_norms,
+                         std::span<const double> coefficients, double rho,
+                         const Matrix& points, const StopCondition& stop,
+                         std::span<double> out);
 
 }  // namespace ccdb::svm
 

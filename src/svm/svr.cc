@@ -4,17 +4,25 @@
 #include <memory>
 
 #include "common/check.h"
+#include "common/vec.h"
+#include "svm/kernel_cache.h"
 
 namespace ccdb::svm {
 namespace {
 
 // Q matrix for the 2n-variable ε-SVR dual: with λ = (α, α*) and block
-// signs ŷ = (+1…, −1…), Q_st = ŷ_s ŷ_t K(s mod n, t mod n).
+// signs ŷ = (+1…, −1…), Q_st = ŷ_s ŷ_t K(s mod n, t mod n). Raw kernel
+// rows are one norm-trick sweep each, memoized in a byte-bounded LRU
+// cache shared in shape with the SVC/TSVM path (kernel_cache.h).
 class SvrQMatrix : public QMatrix {
  public:
-  SvrQMatrix(const Matrix& examples, const KernelConfig& kernel)
+  SvrQMatrix(const Matrix& examples, const KernelConfig& kernel,
+             std::size_t cache_bytes)
       : examples_(examples), kernel_(kernel),
-        cache_(examples.rows()), diagonal_(examples.rows()) {
+        sq_norms_(examples.rows()), diagonal_(examples.rows()),
+        cache_(examples.rows(), examples.rows(), cache_bytes) {
+    RowSquaredNorms(examples_.Data(), examples_.rows(), examples_.cols(),
+                    sq_norms_);
     for (std::size_t i = 0; i < examples_.rows(); ++i) {
       diagonal_[i] = EvalKernel(kernel_, examples_.Row(i), examples_.Row(i));
     }
@@ -26,7 +34,12 @@ class SvrQMatrix : public QMatrix {
     const std::size_t n = examples_.rows();
     const std::size_t base = s % n;
     const double sign_s = s < n ? 1.0 : -1.0;
-    const std::vector<double>& kernel_row = KernelRow(base);
+    const std::span<const double> kernel_row =
+        cache_.Row(base, [this](std::size_t r, std::span<double> out) {
+          EvalKernelBatch(kernel_, examples_.Data(), examples_.rows(),
+                          examples_.cols(), sq_norms_, examples_.Row(r),
+                          sq_norms_[r], out);
+        });
     row.resize(2 * n);
     for (std::size_t t = 0; t < n; ++t) {
       row[t] = sign_s * kernel_row[t];
@@ -39,22 +52,11 @@ class SvrQMatrix : public QMatrix {
   }
 
  private:
-  const std::vector<double>& KernelRow(std::size_t i) const {
-    std::unique_ptr<std::vector<double>>& slot = cache_[i];
-    if (slot == nullptr) {
-      slot = std::make_unique<std::vector<double>>(examples_.rows());
-      const auto x_i = examples_.Row(i);
-      for (std::size_t j = 0; j < examples_.rows(); ++j) {
-        (*slot)[j] = EvalKernel(kernel_, x_i, examples_.Row(j));
-      }
-    }
-    return *slot;
-  }
-
   const Matrix& examples_;
   KernelConfig kernel_;
-  mutable std::vector<std::unique_ptr<std::vector<double>>> cache_;
+  std::vector<double> sq_norms_;
   std::vector<double> diagonal_;
+  mutable KernelRowCache cache_;
 };
 
 }  // namespace
@@ -63,26 +65,35 @@ SvrModel::SvrModel(Matrix support_vectors, std::vector<double> coefficients,
                    double rho, KernelConfig kernel)
     : support_vectors_(std::move(support_vectors)),
       coefficients_(std::move(coefficients)),
+      sv_sq_norms_(support_vectors_.rows()),
       rho_(rho),
       kernel_(kernel) {
   CCDB_CHECK_EQ(support_vectors_.rows(), coefficients_.size());
+  RowSquaredNorms(support_vectors_.Data(), support_vectors_.rows(),
+                  support_vectors_.cols(), sv_sq_norms_);
 }
 
 double SvrModel::Predict(std::span<const double> x) const {
   CCDB_CHECK(trained());
-  double value = -rho_;
-  for (std::size_t s = 0; s < support_vectors_.rows(); ++s) {
-    value += coefficients_[s] * EvalKernel(kernel_, support_vectors_.Row(s), x);
-  }
-  return value;
+  std::vector<double> kernel_row(support_vectors_.rows());
+  EvalKernelBatch(kernel_, support_vectors_.Data(), support_vectors_.rows(),
+                  support_vectors_.cols(), sv_sq_norms_, x, SquaredNorm(x),
+                  kernel_row);
+  return Dot(coefficients_, kernel_row) - rho_;
 }
 
 std::vector<double> SvrModel::PredictAll(const Matrix& points) const {
   std::vector<double> values(points.rows());
-  for (std::size_t i = 0; i < points.rows(); ++i) {
-    values[i] = Predict(points.Row(i));
-  }
+  const bool completed = PredictAllInto(points, StopCondition(), values);
+  CCDB_CHECK(completed);  // the default StopCondition never fires
   return values;
+}
+
+bool SvrModel::PredictAllInto(const Matrix& points, const StopCondition& stop,
+                              std::span<double> out) const {
+  CCDB_CHECK(trained());
+  return EvalKernelExpansion(kernel_, support_vectors_, sv_sq_norms_,
+                             coefficients_, rho_, points, stop, out);
 }
 
 SvrModel TrainSvr(const Matrix& examples, const std::vector<double>& targets,
@@ -94,7 +105,7 @@ SvrModel TrainSvr(const Matrix& examples, const std::vector<double>& targets,
   CCDB_CHECK_GE(options.epsilon, 0.0);
 
   const KernelConfig kernel = ResolveKernel(options.kernel, examples.cols());
-  SvrQMatrix q(examples, kernel);
+  SvrQMatrix q(examples, kernel, options.kernel_cache_bytes);
 
   std::vector<double> p(2 * n);
   std::vector<std::int8_t> y(2 * n);

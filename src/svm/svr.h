@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/matrix.h"
+#include "svm/classifier.h"
 #include "svm/kernel.h"
 #include "svm/smo_solver.h"
 
@@ -15,6 +16,8 @@ struct SvrOptions {
   double cost = 1.0;
   /// Width of the ε-insensitive tube.
   double epsilon = 0.1;
+  /// Byte budget of the LRU kernel-row cache used during training.
+  std::size_t kernel_cache_bytes = kDefaultKernelCacheBytes;
   SmoConfig smo;
 };
 
@@ -27,11 +30,20 @@ class SvrModel {
   SvrModel(Matrix support_vectors, std::vector<double> coefficients,
            double rho, KernelConfig kernel);
 
-  /// Regression estimate f(x).
+  /// Regression estimate f(x) — one norm-trick sweep over the support
+  /// vectors.
   double Predict(std::span<const double> x) const;
 
-  /// Predicts every row of `points`.
+  /// Predicts every row of `points` — batched and parallelized on the
+  /// shared thread pool for large batches; identical results to per-item
+  /// Predict().
   std::vector<double> PredictAll(const Matrix& points) const;
+
+  /// Cancellation-aware batch prediction; probes `stop` once per block and
+  /// returns false when it fired (out entries beyond the completed blocks
+  /// are unspecified).
+  bool PredictAllInto(const Matrix& points, const StopCondition& stop,
+                      std::span<double> out) const;
 
   std::size_t num_support_vectors() const { return support_vectors_.rows(); }
   bool trained() const { return support_vectors_.rows() > 0; }
@@ -39,6 +51,7 @@ class SvrModel {
  private:
   Matrix support_vectors_;
   std::vector<double> coefficients_;  // β_s = α_s − α*_s
+  std::vector<double> sv_sq_norms_;   // ‖sv_s‖² for the norm-trick sweep
   double rho_ = 0.0;
   KernelConfig kernel_;
 };

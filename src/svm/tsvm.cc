@@ -46,6 +46,7 @@ SvmModel TrainTsvm(const Matrix& labeled,
   ClassifierOptions seed_options;
   seed_options.kernel = options.kernel;
   seed_options.cost = options.cost;
+  seed_options.kernel_cache_bytes = options.kernel_cache_bytes;
   seed_options.smo = options.smo;
   SvmModel model = TrainClassifier(labeled, labels, seed_options);
   ++out.retrains;
@@ -87,6 +88,7 @@ SvmModel TrainTsvm(const Matrix& labeled,
       ClassifierOptions train_options;
       train_options.kernel = options.kernel;
       train_options.cost = options.cost;
+      train_options.kernel_cache_bytes = options.kernel_cache_bytes;
       train_options.smo = options.smo;
       train_options.example_cost_scale.assign(combined.rows(), 1.0);
       for (std::size_t u = 0; u < num_unlabeled; ++u) {
@@ -98,10 +100,7 @@ SvmModel TrainTsvm(const Matrix& labeled,
       // Slacks of unlabeled examples under the current labeling. The most
       // violating positive and the most violating negative form the switch
       // pair (their combined slack must exceed 2, per Joachims).
-      std::vector<double> f_values(num_unlabeled);
-      for (std::size_t u = 0; u < num_unlabeled; ++u) {
-        f_values[u] = model.DecisionValue(unlabeled.Row(u));
-      }
+      const std::vector<double> f_values = model.DecisionValues(unlabeled);
       double worst_pos_slack = 0.0, worst_neg_slack = 0.0;
       std::size_t best_pos = num_unlabeled, best_neg = num_unlabeled;
       for (std::size_t u = 0; u < num_unlabeled; ++u) {

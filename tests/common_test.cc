@@ -581,5 +581,145 @@ TEST(TablePrinterTest, Formatters) {
   EXPECT_EQ(TablePrinter::PrecRec(0.46, 0.88), "0.46 / 0.88");
 }
 
+// ------------------------------------------------------ batch primitives
+
+TEST(VecBatchTest, DotBatchMatchesPerRowDot) {
+  Rng rng(301);
+  Matrix rows(7, 5);
+  rows.FillGaussian(rng, 0.0, 1.0);
+  std::vector<double> x(5);
+  for (auto& v : x) v = rng.Gaussian();
+  std::vector<double> out(7);
+  DotBatch(rows.Data(), 7, 5, x, out);
+  for (std::size_t r = 0; r < 7; ++r) {
+    EXPECT_DOUBLE_EQ(out[r], Dot(rows.Row(r), x)) << "row " << r;
+  }
+}
+
+TEST(VecBatchTest, SquaredDistanceToRowsMatchesPerRow) {
+  Rng rng(303);
+  Matrix rows(6, 9);
+  rows.FillGaussian(rng, 0.0, 2.0);
+  std::vector<double> x(9);
+  for (auto& v : x) v = rng.Gaussian();
+  std::vector<double> out(6);
+  SquaredDistanceToRows(rows.Data(), 6, 9, x, out);
+  for (std::size_t r = 0; r < 6; ++r) {
+    EXPECT_DOUBLE_EQ(out[r], SquaredDistance(rows.Row(r), x)) << "row " << r;
+  }
+}
+
+TEST(VecBatchTest, RowSquaredNormsMatchesPerRow) {
+  Rng rng(305);
+  Matrix rows(8, 4);
+  rows.FillGaussian(rng, 0.0, 1.5);
+  std::vector<double> out(8);
+  RowSquaredNorms(rows.Data(), 8, 4, out);
+  for (std::size_t r = 0; r < 8; ++r) {
+    EXPECT_DOUBLE_EQ(out[r], SquaredNorm(rows.Row(r))) << "row " << r;
+  }
+}
+
+TEST(VecBatchTest, InterleaveQuadUsesLaneMajorLayout) {
+  const std::vector<double> x0 = {1.0, 2.0};
+  const std::vector<double> x1 = {3.0, 4.0};
+  const std::vector<double> x2 = {5.0, 6.0};
+  const std::vector<double> x3 = {7.0, 8.0};
+  std::vector<double> out(8);
+  InterleaveQuad(x0, x1, x2, x3, out);
+  EXPECT_EQ(out, (std::vector<double>{1.0, 3.0, 5.0, 7.0,
+                                      2.0, 4.0, 6.0, 8.0}));
+}
+
+TEST(VecBatchTest, DotBatchQuadIsBitIdenticalToSingleQueryCalls) {
+  // The quad kernels promise bit-identical results to the single-query
+  // primitives (callers mix the two for tail groups), so this is an exact
+  // comparison, not a tolerance.
+  Rng rng(307);
+  Matrix rows(9, 13);  // cols not a multiple of the unroll width
+  rows.FillGaussian(rng, 0.0, 1.0);
+  Matrix queries(4, 13);
+  queries.FillGaussian(rng, 0.0, 1.0);
+  std::vector<double> interleaved(4 * 13);
+  InterleaveQuad(queries.Row(0), queries.Row(1), queries.Row(2),
+                 queries.Row(3), interleaved);
+  std::vector<double> quad(4 * 9);
+  DotBatchQuad(rows.Data(), 9, 13, interleaved, quad);
+  std::vector<double> single(9);
+  for (std::size_t q = 0; q < 4; ++q) {
+    DotBatch(rows.Data(), 9, 13, queries.Row(q), single);
+    for (std::size_t r = 0; r < 9; ++r) {
+      EXPECT_DOUBLE_EQ(quad[r * 4 + q], single[r])
+          << "row " << r << " lane " << q;
+    }
+  }
+}
+
+TEST(VecBatchTest, SquaredDistanceQuadIsBitIdenticalToSingleQueryCalls) {
+  Rng rng(309);
+  Matrix rows(11, 7);
+  rows.FillGaussian(rng, 0.0, 2.0);
+  Matrix queries(4, 7);
+  queries.FillGaussian(rng, 0.0, 2.0);
+  std::vector<double> interleaved(4 * 7);
+  InterleaveQuad(queries.Row(0), queries.Row(1), queries.Row(2),
+                 queries.Row(3), interleaved);
+  std::vector<double> quad(4 * 11);
+  SquaredDistanceToRowsQuad(rows.Data(), 11, 7, interleaved, quad);
+  std::vector<double> single(11);
+  for (std::size_t q = 0; q < 4; ++q) {
+    SquaredDistanceToRows(rows.Data(), 11, 7, queries.Row(q), single);
+    for (std::size_t r = 0; r < 11; ++r) {
+      EXPECT_DOUBLE_EQ(quad[r * 4 + q], single[r])
+          << "row " << r << " lane " << q;
+    }
+  }
+}
+
+TEST(VecBatchTest, ZeroRowsAndZeroColsAreNoops) {
+  std::vector<double> empty;
+  std::vector<double> x = {1.0, 2.0, 3.0};
+  DotBatch(empty, 0, 3, x, {});
+  SquaredDistanceToRows(empty, 0, 3, x, {});
+  RowSquaredNorms(empty, 0, 3, {});
+  // Zero-dimensional rows: every dot/norm is 0.
+  std::vector<double> out(4, 99.0);
+  DotBatch(empty, 4, 0, {}, out);
+  for (double v : out) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+// ------------------------------------------------------ shared pool
+
+TEST(SharedThreadPoolTest, ReturnsTheSameInstance) {
+  ThreadPool& a = SharedThreadPool();
+  ThreadPool& b = SharedThreadPool();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.num_threads(), 1u);
+}
+
+TEST(SharedThreadPoolTest, ParallelForCoversRange) {
+  std::vector<std::atomic<int>> counters(500);
+  SharedThreadPool().ParallelFor(0, 500, [&](std::size_t i) {
+    ++counters[i];
+  });
+  for (const auto& counter : counters) EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(SharedThreadPoolTest, ConcurrentParallelForCallersDoNotInterfere) {
+  // Two threads issue independent ParallelFor calls on the shared pool at
+  // once; each must see exactly its own range completed (the per-call
+  // latch must not count the other caller's tasks).
+  std::vector<std::atomic<int>> first(200), second(200);
+  std::thread other([&] {
+    SharedThreadPool().ParallelFor(0, 200, [&](std::size_t i) {
+      ++second[i];
+    });
+  });
+  SharedThreadPool().ParallelFor(0, 200, [&](std::size_t i) { ++first[i]; });
+  other.join();
+  for (const auto& counter : first) EXPECT_EQ(counter.load(), 1);
+  for (const auto& counter : second) EXPECT_EQ(counter.load(), 1);
+}
+
 }  // namespace
 }  // namespace ccdb

@@ -1,17 +1,21 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <span>
 #include <string>
 #include <tuple>
 #include <vector>
 
 #include "common/journal.h"
+#include "common/matrix.h"
 #include "common/rng.h"
 #include "common/vec.h"
 #include "crowd/dispatch_journal.h"
 #include "crowd/dispatcher.h"
 #include "eval/metrics.h"
+#include "eval/neighbors.h"
 #include "svm/classifier.h"
 #include "db/sql_parser.h"
 #include "factorization/factor_model.h"
@@ -218,6 +222,255 @@ TEST_P(VecProperty, CauchySchwarzAndTriangle) {
 
 INSTANTIATE_TEST_SUITE_P(Dims, VecProperty,
                          ::testing::Values(1u, 2u, 10u, 100u));
+
+// ----------------------------------------- vectorized numeric-core parity
+
+namespace numcore {
+
+// Naive left-to-right references: the single-accumulator loops the
+// unrolled kernels replaced. The unroll reassociates the sum, so parity
+// is relative (1e-10 ≫ the O(n·eps) reassociation error), not bitwise.
+
+double NaiveDot(std::span<const double> x, std::span<const double> y) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) sum += x[i] * y[i];
+  return sum;
+}
+
+double NaiveSquaredDistance(std::span<const double> x,
+                            std::span<const double> y) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double diff = x[i] - y[i];
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+double NaiveSquaredNorm(std::span<const double> x) {
+  double sum = 0.0;
+  for (double v : x) sum += v * v;
+  return sum;
+}
+
+void ExpectRelNear(double actual, double expected, double rel = 1e-10) {
+  const double scale =
+      std::max({1.0, std::abs(actual), std::abs(expected)});
+  EXPECT_NEAR(actual, expected, rel * scale);
+}
+
+std::vector<double> RandomVector(Rng& rng, std::size_t n, double sigma) {
+  std::vector<double> v(n);
+  for (auto& value : v) value = rng.Gaussian(0.0, sigma);
+  return v;
+}
+
+}  // namespace numcore
+
+/// Parameterized over vector lengths, deliberately including 0, every
+/// remainder mod the 4-wide unroll, and lengths straddling powers of two.
+class NumericCoreParity : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(NumericCoreParity, ScalarKernelsMatchNaiveReferences) {
+  const std::size_t n = GetParam();
+  Rng rng(401 + n);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto x = numcore::RandomVector(rng, n, 2.0);
+    const auto y = numcore::RandomVector(rng, n, 2.0);
+    numcore::ExpectRelNear(Dot(x, y), numcore::NaiveDot(x, y));
+    numcore::ExpectRelNear(SquaredDistance(x, y),
+                           numcore::NaiveSquaredDistance(x, y));
+    numcore::ExpectRelNear(SquaredNorm(x), numcore::NaiveSquaredNorm(x));
+    numcore::ExpectRelNear(Norm(x),
+                           std::sqrt(numcore::NaiveSquaredNorm(x)));
+    // Axpy touches each element independently — parity is exact.
+    const double alpha = rng.Gaussian();
+    std::vector<double> unrolled = y;
+    Axpy(alpha, x, unrolled);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_DOUBLE_EQ(unrolled[i], y[i] + alpha * x[i]);
+    }
+  }
+}
+
+TEST_P(NumericCoreParity, BatchPrimitivesMatchNaivePerRow) {
+  const std::size_t n = GetParam();
+  Rng rng(419 + n);
+  const std::size_t num_rows = 3;
+  Matrix rows(num_rows, n);
+  rows.FillGaussian(rng, 0.0, 1.5);
+  const auto x = numcore::RandomVector(rng, n, 1.5);
+  std::vector<double> dots(num_rows), dists(num_rows), norms(num_rows);
+  DotBatch(rows.Data(), num_rows, n, x, dots);
+  SquaredDistanceToRows(rows.Data(), num_rows, n, x, dists);
+  RowSquaredNorms(rows.Data(), num_rows, n, norms);
+  for (std::size_t r = 0; r < num_rows; ++r) {
+    numcore::ExpectRelNear(dots[r], numcore::NaiveDot(rows.Row(r), x));
+    numcore::ExpectRelNear(dists[r],
+                           numcore::NaiveSquaredDistance(rows.Row(r), x));
+    numcore::ExpectRelNear(norms[r], numcore::NaiveSquaredNorm(rows.Row(r)));
+  }
+}
+
+TEST_P(NumericCoreParity, EvalKernelBatchMatchesScalarEvalKernel) {
+  const std::size_t n = GetParam();
+  Rng rng(433 + n);
+  const std::size_t num_rows = 5;
+  Matrix rows(num_rows, n);
+  rows.FillGaussian(rng, 0.0, 1.0);
+  const auto x = numcore::RandomVector(rng, n, 1.0);
+  std::vector<double> sq_norms(num_rows);
+  RowSquaredNorms(rows.Data(), num_rows, n, sq_norms);
+
+  svm::KernelConfig configs[3];
+  configs[0].type = svm::KernelType::kLinear;
+  configs[1].type = svm::KernelType::kRbf;
+  configs[1].gamma = 0.4;
+  configs[2].type = svm::KernelType::kPolynomial;
+  configs[2].gamma = 0.5;
+  configs[2].coef0 = 1.0;
+  configs[2].degree = 3;
+  for (const auto& config : configs) {
+    std::vector<double> batch(num_rows);
+    svm::EvalKernelBatch(config, rows.Data(), num_rows, n, sq_norms, x,
+                         SquaredNorm(x), batch);
+    for (std::size_t r = 0; r < num_rows; ++r) {
+      // The RBF batch path reassembles ‖row−x‖² via the norm trick; the
+      // scalar path differences directly. 1e-10 relative covers the
+      // cancellation at these scales.
+      numcore::ExpectRelNear(batch[r],
+                             svm::EvalKernel(config, rows.Row(r), x));
+    }
+  }
+}
+
+TEST_P(NumericCoreParity, QuadKernelsAreBitIdenticalToSingleQuery) {
+  // The quad-query kernels claim bit-identical summation order to the
+  // single-query primitives for every (row, lane) pair — exact equality,
+  // at every size including unroll tails.
+  const std::size_t n = GetParam();
+  Rng rng(443 + n);
+  const std::size_t num_rows = 6;
+  Matrix rows(num_rows, n);
+  rows.FillGaussian(rng, 0.0, 1.3);
+  Matrix queries(4, n);
+  queries.FillGaussian(rng, 0.0, 1.3);
+  std::vector<double> interleaved(4 * n);
+  InterleaveQuad(queries.Row(0), queries.Row(1), queries.Row(2),
+                 queries.Row(3), interleaved);
+  std::vector<double> quad_dots(4 * num_rows), quad_dists(4 * num_rows);
+  DotBatchQuad(rows.Data(), num_rows, n, interleaved, quad_dots);
+  SquaredDistanceToRowsQuad(rows.Data(), num_rows, n, interleaved,
+                            quad_dists);
+  std::vector<double> dots(num_rows), dists(num_rows);
+  for (std::size_t q = 0; q < 4; ++q) {
+    DotBatch(rows.Data(), num_rows, n, queries.Row(q), dots);
+    SquaredDistanceToRows(rows.Data(), num_rows, n, queries.Row(q), dists);
+    for (std::size_t r = 0; r < num_rows; ++r) {
+      EXPECT_DOUBLE_EQ(quad_dots[r * 4 + q], dots[r])
+          << "n " << n << " row " << r << " lane " << q;
+      EXPECT_DOUBLE_EQ(quad_dists[r * 4 + q], dists[r])
+          << "n " << n << " row " << r << " lane " << q;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, NumericCoreParity,
+    ::testing::Values(0u, 1u, 2u, 3u, 4u, 5u, 7u, 8u, 15u, 16u, 17u, 31u,
+                      32u, 63u, 64u, 65u, 127u, 128u, 129u, 255u, 256u,
+                      257u));
+
+TEST(NumericCoreParityLarge, BatchedExpansionMatchesScalarSum) {
+  // A synthetic kernel expansion big enough to cross the parallel
+  // threshold (600 items × 400 SVs × 40 dims). The reference is the
+  // textbook scalar sum Σ coef_s·K(sv_s, x) − rho with direct-differencing
+  // EvalKernel — no norm trick, no batching, no threads.
+  Rng rng(541);
+  const std::size_t num_svs = 400, dims = 40, num_points = 600;
+  Matrix svs(num_svs, dims);
+  svs.FillGaussian(rng, 0.0, 1.0);
+  std::vector<double> coefficients(num_svs);
+  for (auto& c : coefficients) c = rng.Gaussian(0.0, 0.7);
+  const double rho = 0.3;
+  Matrix points(num_points, dims);
+  points.FillGaussian(rng, 0.0, 1.0);
+
+  svm::KernelConfig kernel;
+  kernel.type = svm::KernelType::kRbf;
+  kernel.gamma = 1.0 / static_cast<double>(dims);
+  const svm::SvmModel model(svs, coefficients, rho, kernel);
+
+  const std::vector<double> batched = model.DecisionValues(points);
+  ASSERT_EQ(batched.size(), num_points);
+  const auto predictions = model.PredictAll(points);
+  for (std::size_t i = 0; i < num_points; ++i) {
+    double scalar = -rho;
+    for (std::size_t s = 0; s < num_svs; ++s) {
+      scalar += coefficients[s] *
+                svm::EvalKernel(kernel, svs.Row(s), points.Row(i));
+    }
+    numcore::ExpectRelNear(batched[i], scalar);
+    // Batched, per-item and boolean predictions all agree.
+    EXPECT_DOUBLE_EQ(batched[i], model.DecisionValue(points.Row(i)));
+    EXPECT_EQ(predictions[i], model.Predict(points.Row(i)));
+  }
+}
+
+TEST(NumericCoreParityLarge, BlockedKnnMatchesBruteForce) {
+  // The blocked squared-distance kNN scan against a naive
+  // sort-all-distances reference, with n far above one scan block.
+  Rng rng(547);
+  const std::size_t n = 1500, dims = 7;
+  Matrix points(n, dims);
+  points.FillGaussian(rng, 0.0, 1.0);
+  for (const std::size_t query : {std::size_t{0}, std::size_t{733},
+                                  std::size_t{1499}}) {
+    for (const std::size_t k : {std::size_t{1}, std::size_t{5},
+                                std::size_t{17}}) {
+      const auto fast = eval::KNearestNeighbors(points, query, k);
+      std::vector<eval::Neighbor> brute;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (i == query) continue;
+        brute.push_back({i, Distance(points.Row(i), points.Row(query))});
+      }
+      std::sort(brute.begin(), brute.end(),
+                [](const eval::Neighbor& a, const eval::Neighbor& b) {
+                  return a.distance < b.distance;
+                });
+      ASSERT_EQ(fast.size(), k);
+      for (std::size_t j = 0; j < k; ++j) {
+        EXPECT_EQ(fast[j].index, brute[j].index)
+            << "query " << query << " k " << k << " rank " << j;
+        numcore::ExpectRelNear(fast[j].distance, brute[j].distance);
+      }
+    }
+  }
+}
+
+TEST(NumericCoreParityLarge, BatchKnnMatchesPerQueryKnn) {
+  // KNearestNeighborsBatch scans queries in quad groups; every result list
+  // must be bit-identical to the per-query scan, including the sub-four
+  // tail (here 6 queries = one quad group + two tail queries).
+  Rng rng(557);
+  const std::size_t n = 2300, dims = 11;
+  Matrix points(n, dims);
+  points.FillGaussian(rng, 0.0, 1.0);
+  const std::vector<std::size_t> queries = {0, 17, 1151, 2299, 3, 800};
+  const std::size_t k = 9;
+  const auto batch = eval::KNearestNeighborsBatch(points, queries, k);
+  ASSERT_EQ(batch.size(), queries.size());
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const auto single = eval::KNearestNeighbors(points, queries[q], k);
+    ASSERT_EQ(batch[q].size(), single.size()) << "query " << queries[q];
+    for (std::size_t j = 0; j < single.size(); ++j) {
+      EXPECT_EQ(batch[q][j].index, single[j].index)
+          << "query " << queries[q] << " rank " << j;
+      EXPECT_DOUBLE_EQ(batch[q][j].distance, single[j].distance)
+          << "query " << queries[q] << " rank " << j;
+    }
+  }
+}
 
 // ----------------------------------------------------- SQL parser fuzz
 

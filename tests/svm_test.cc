@@ -2,9 +2,11 @@
 
 #include <cmath>
 
+#include "common/cancellation.h"
 #include "common/rng.h"
 #include "svm/classifier.h"
 #include "svm/kernel.h"
+#include "svm/kernel_cache.h"
 #include "svm/platt.h"
 #include "svm/svr.h"
 #include "svm/tsvm.h"
@@ -431,6 +433,146 @@ TEST(TsvmTest, UsesUnlabeledStructure) {
     if ((report.transductive_labels[i] == 1) == expected) ++correct;
   }
   EXPECT_GT(correct, static_cast<int>(2 * per_cluster * 2 * 9 / 10));
+}
+
+// ------------------------------------------------------- kernel cache
+
+TEST(KernelRowCacheTest, ByteBudgetIsHonored) {
+  constexpr std::size_t kRows = 32;
+  constexpr std::size_t kRowLength = 16;
+  constexpr std::size_t kRowBytes = kRowLength * sizeof(double);
+  // Budget for exactly 4 rows.
+  KernelRowCache cache(kRows, kRowLength, 4 * kRowBytes);
+  const auto fill = [](std::size_t row, std::span<double> out) {
+    for (std::size_t c = 0; c < out.size(); ++c) {
+      out[c] = static_cast<double>(row * 1000 + c);
+    }
+  };
+  for (std::size_t i = 0; i < kRows; ++i) {
+    const auto row = cache.Row(i, fill);
+    ASSERT_EQ(row.size(), kRowLength);
+    EXPECT_DOUBLE_EQ(row[3], static_cast<double>(i * 1000 + 3));
+    EXPECT_LE(cache.bytes_in_use(), cache.budget_bytes());
+  }
+  EXPECT_EQ(cache.cached_rows(), 4u);
+  EXPECT_EQ(cache.stats().misses, kRows);
+  EXPECT_EQ(cache.stats().evictions, kRows - 4);
+}
+
+TEST(KernelRowCacheTest, EvictsLeastRecentlyUsed) {
+  constexpr std::size_t kRowLength = 8;
+  constexpr std::size_t kRowBytes = kRowLength * sizeof(double);
+  KernelRowCache cache(8, kRowLength, 2 * kRowBytes);  // room for 2 rows
+  std::size_t fills = 0;
+  const auto fill = [&fills](std::size_t row, std::span<double> out) {
+    ++fills;
+    for (auto& v : out) v = static_cast<double>(row);
+  };
+  cache.Row(0, fill);  // cached: {0}
+  cache.Row(1, fill);  // cached: {1, 0}
+  EXPECT_EQ(fills, 2u);
+  cache.Row(0, fill);  // hit — bumps 0 to MRU: {0, 1}
+  EXPECT_EQ(fills, 2u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  cache.Row(2, fill);  // evicts 1 (the LRU), not 0: {2, 0}
+  EXPECT_EQ(fills, 3u);
+  cache.Row(0, fill);  // still a hit
+  EXPECT_EQ(fills, 3u);
+  cache.Row(1, fill);  // was evicted — must refill
+  EXPECT_EQ(fills, 4u);
+  EXPECT_EQ(cache.stats().evictions, 2u);
+}
+
+TEST(KernelRowCacheTest, ZeroBudgetStillServesOneRow) {
+  // The requested row is exempt from the budget, so Row() always works;
+  // a zero budget just means nothing survives to the next call.
+  KernelRowCache cache(4, 8, 0);
+  const auto fill = [](std::size_t row, std::span<double> out) {
+    for (auto& v : out) v = static_cast<double>(row) + 0.5;
+  };
+  for (std::size_t i = 0; i < 4; ++i) {
+    const auto row = cache.Row(i, fill);
+    ASSERT_EQ(row.size(), 8u);
+    EXPECT_DOUBLE_EQ(row[0], static_cast<double>(i) + 0.5);
+    EXPECT_LE(cache.cached_rows(), 1u);
+  }
+  // Re-reading row 0 is a miss — it could not be retained...
+  cache.Row(0, fill);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  // ...but an immediate repeat of the same row is the one possible hit.
+  const auto again = cache.Row(0, fill);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_DOUBLE_EQ(again[0], 0.5);
+}
+
+TEST(KernelRowCacheTest, TinyBudgetTrainingMatchesUnbounded) {
+  // Training with a cache too small to hold the Q-matrix must reproduce
+  // the unbounded-cache model exactly — the cache changes cost, never
+  // values.
+  Rng rng(121);
+  Matrix x(40, 3);
+  x.FillGaussian(rng, 0.0, 1.0);
+  std::vector<std::int8_t> y(40);
+  for (std::size_t i = 0; i < 40; ++i) y[i] = x(i, 0) + x(i, 2) > 0 ? 1 : -1;
+  ClassifierOptions options;
+  options.kernel.type = KernelType::kRbf;
+  options.kernel.gamma = 0.8;
+  options.cost = 5.0;
+  const SvmModel big = TrainClassifier(x, y, options);
+  options.kernel_cache_bytes = 2 * 40 * sizeof(double);  // two rows
+  const SvmModel tiny = TrainClassifier(x, y, options);
+  ASSERT_EQ(big.num_support_vectors(), tiny.num_support_vectors());
+  EXPECT_DOUBLE_EQ(big.rho(), tiny.rho());
+  for (std::size_t i = 0; i < 40; ++i) {
+    EXPECT_DOUBLE_EQ(big.DecisionValue(x.Row(i)),
+                     tiny.DecisionValue(x.Row(i)));
+  }
+}
+
+// ------------------------------------------------- batched cancellation
+
+TEST(SvmClassifierTest, DecisionValuesIntoHonorsCancellation) {
+  Rng rng(123);
+  Matrix x(30, 2);
+  x.FillGaussian(rng, 0.0, 1.0);
+  std::vector<std::int8_t> y(30);
+  for (std::size_t i = 0; i < 30; ++i) y[i] = x(i, 0) > 0 ? 1 : -1;
+  ClassifierOptions options;
+  options.cost = 2.0;
+  const SvmModel model = TrainClassifier(x, y, options);
+
+  std::vector<double> out(30);
+  CancellationSource source;
+  source.Cancel();
+  EXPECT_FALSE(model.DecisionValuesInto(x, StopCondition(source.token()),
+                                        out));
+  // An unarmed stop completes and matches the plain batch entry point.
+  ASSERT_TRUE(model.DecisionValuesInto(x, StopCondition(), out));
+  const std::vector<double> reference = model.DecisionValues(x);
+  for (std::size_t i = 0; i < 30; ++i) {
+    EXPECT_DOUBLE_EQ(out[i], reference[i]);
+  }
+}
+
+TEST(SvrTest, PredictAllIntoHonorsCancellation) {
+  Matrix x(12, 1);
+  std::vector<double> y(12);
+  for (std::size_t i = 0; i < 12; ++i) {
+    x(i, 0) = static_cast<double>(i);
+    y[i] = 0.25 * static_cast<double>(i);
+  }
+  SvrOptions options;
+  options.kernel.type = KernelType::kLinear;
+  const SvrModel model = TrainSvr(x, y, options);
+
+  std::vector<double> out(12);
+  CancellationSource source;
+  source.Cancel();
+  EXPECT_FALSE(model.PredictAllInto(x, StopCondition(source.token()), out));
+  ASSERT_TRUE(model.PredictAllInto(x, StopCondition(), out));
+  for (std::size_t i = 0; i < 12; ++i) {
+    EXPECT_DOUBLE_EQ(out[i], model.Predict(x.Row(i)));
+  }
 }
 
 TEST(TsvmTest, ReportCountsRetrains) {
