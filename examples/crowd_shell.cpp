@@ -13,6 +13,7 @@
 #include <iostream>
 #include <string>
 
+#include "common/check.h"
 #include "common/stopwatch.h"
 #include "core/perceptual_space.h"
 #include "core/resolver.h"
@@ -40,13 +41,16 @@ int main() {
                      {"cluster", db::ColumnType::kInt}});
   db::Table movies("movies", schema);
   for (std::uint32_t m = 0; m < world.num_items(); ++m) {
-    (void)movies.AppendRow({db::Value(static_cast<std::int64_t>(m)),
-                            db::Value(world.ItemName(m)),
-                            db::Value(static_cast<std::int64_t>(
-                                world.ClusterOf(m)))});
+    const Status appended =
+        movies.AppendRow({db::Value(static_cast<std::int64_t>(m)),
+                          db::Value(world.ItemName(m)),
+                          db::Value(static_cast<std::int64_t>(
+                              world.ClusterOf(m)))});
+    CCDB_CHECK_MSG(appended.ok(), appended.ToString());
   }
   db::Database database;
-  (void)database.AddTable(std::move(movies));
+  const Status added = database.AddTable(std::move(movies));
+  CCDB_CHECK_MSG(added.ok(), added.ToString());
 
   crowd::WorkerPool pool;
   for (int i = 0; i < 12; ++i) {

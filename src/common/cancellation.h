@@ -76,7 +76,7 @@ class StopCondition {
 
   /// Cancelled beats DeadlineExceeded when both fired (the caller asked
   /// first); Ok when neither did. `what` names the interrupted stage.
-  Status ToStatus(const std::string& what = "operation") const;
+  [[nodiscard]] Status ToStatus(const std::string& what = "operation") const;
 
   const CancellationToken& token() const { return token_; }
   const Deadline& deadline() const { return deadline_; }

@@ -59,6 +59,8 @@ void ArmFromEnvOnce() {
     CrashPoints::Arm(site, count);
     return true;
   }();
+  // ccdb-lint: allow(status-nodiscard) — once-guard bool, not a Status; the
+  // discard only silences -Wunused-variable.
   (void)done;
 }
 

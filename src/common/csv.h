@@ -31,6 +31,7 @@ class CsvWriter {
 
 /// Parses a single CSV line into fields (handles quoting). Returns an
 /// error Status on malformed quoting.
+[[nodiscard]]
 StatusOr<std::vector<std::string>> ParseCsvLine(const std::string& line);
 
 }  // namespace ccdb

@@ -95,7 +95,7 @@ struct JournalContents {
 /// reported in `torn_bytes`. A checksum failure on any *earlier* record
 /// is real corruption and comes back as an InvalidArgument Status. A
 /// missing file yields NotFound.
-StatusOr<JournalContents> ReadJournal(const std::string& path);
+[[nodiscard]] StatusOr<JournalContents> ReadJournal(const std::string& path);
 
 /// Append-only record log:  8-byte magic header, then per record
 /// [u32 payload_len][u32 crc32(payload)][payload]. Opening an existing
@@ -109,20 +109,20 @@ class JournalWriter {
 
   /// Opens (creating if absent) the journal at `path`. On success
   /// `recovered` (if non-null) receives the intact records found.
-  static StatusOr<JournalWriter> Open(const std::string& path,
+  [[nodiscard]] static StatusOr<JournalWriter> Open(const std::string& path,
                                       SyncPolicy sync,
                                       JournalContents* recovered = nullptr);
 
   /// Appends one record; under kEveryRecord also fsyncs it down.
-  Status Append(std::string_view payload);
+  [[nodiscard]] Status Append(std::string_view payload);
 
   /// Flushes user-space buffers and (unless kNone) fsyncs. The dispatcher
   /// calls this at posting boundaries, the expansion loop per checkpoint.
-  Status Sync();
+  [[nodiscard]] Status Sync();
 
   /// Flushes, syncs and closes. The destructor closes without syncing
   /// (mirrors a crash, which is exactly what the tests simulate).
-  Status Close();
+  [[nodiscard]] Status Close();
 
   std::uint64_t appended_records() const { return appended_records_; }
   const std::string& path() const { return path_; }
@@ -147,10 +147,11 @@ class JournalWriter {
 /// fsyncs, then rename()s over the target — readers see either the old
 /// or the new complete file, never a torn one. Used for manifest and
 /// model-checkpoint snapshots.
+[[nodiscard]]
 Status AtomicWriteFile(const std::string& path, std::string_view bytes);
 
 /// Reads a whole file into a string (NotFound when absent).
-StatusOr<std::string> ReadFileToString(const std::string& path);
+[[nodiscard]] StatusOr<std::string> ReadFileToString(const std::string& path);
 
 }  // namespace ccdb
 

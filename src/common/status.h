@@ -27,43 +27,46 @@ enum class StatusCode {
 
 /// Lightweight status object used for recoverable errors (the library never
 /// throws). Convention: functions that can fail return Status or
-/// StatusOr<T>; CHECK macros are reserved for programming errors.
-class Status {
+/// StatusOr<T>; CHECK macros are reserved for programming errors. The
+/// class-level [[nodiscard]] makes silently dropping a returned Status a
+/// compile error under -Werror; deliberate discards must be spelled
+/// `(void)` with a rationale (see DESIGN.md §10).
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
       : code_(code), message_(std::move(message)) {}
 
-  static Status Ok() { return Status(); }
-  static Status InvalidArgument(std::string m) {
+  [[nodiscard]] static Status Ok() { return Status(); }
+  [[nodiscard]] static Status InvalidArgument(std::string m) {
     return Status(StatusCode::kInvalidArgument, std::move(m));
   }
-  static Status NotFound(std::string m) {
+  [[nodiscard]] static Status NotFound(std::string m) {
     return Status(StatusCode::kNotFound, std::move(m));
   }
-  static Status FailedPrecondition(std::string m) {
+  [[nodiscard]] static Status FailedPrecondition(std::string m) {
     return Status(StatusCode::kFailedPrecondition, std::move(m));
   }
-  static Status OutOfRange(std::string m) {
+  [[nodiscard]] static Status OutOfRange(std::string m) {
     return Status(StatusCode::kOutOfRange, std::move(m));
   }
-  static Status Unimplemented(std::string m) {
+  [[nodiscard]] static Status Unimplemented(std::string m) {
     return Status(StatusCode::kUnimplemented, std::move(m));
   }
-  static Status Internal(std::string m) {
+  [[nodiscard]] static Status Internal(std::string m) {
     return Status(StatusCode::kInternal, std::move(m));
   }
-  static Status Cancelled(std::string m) {
+  [[nodiscard]] static Status Cancelled(std::string m) {
     return Status(StatusCode::kCancelled, std::move(m));
   }
-  static Status DeadlineExceeded(std::string m) {
+  [[nodiscard]] static Status DeadlineExceeded(std::string m) {
     return Status(StatusCode::kDeadlineExceeded, std::move(m));
   }
-  static Status ResourceExhausted(std::string m) {
+  [[nodiscard]] static Status ResourceExhausted(std::string m) {
     return Status(StatusCode::kResourceExhausted, std::move(m));
   }
-  static Status Unavailable(std::string m) {
+  [[nodiscard]] static Status Unavailable(std::string m) {
     return Status(StatusCode::kUnavailable, std::move(m));
   }
 
@@ -101,7 +104,7 @@ class Status {
 
 /// Either a value or an error Status. Accessing value() on an error aborts.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /// Implicit construction from a value or an error status keeps call sites
   /// terse (mirrors absl::StatusOr).

@@ -79,7 +79,7 @@ std::optional<ExpansionCheckpoint> ComputeExpansionCheckpoint(
 /// Validates the inputs of the incremental loop (used by the Checked and
 /// durable variants): non-empty sample, positive interval, non-negative
 /// total time, judgments inside the sample.
-Status ValidateIncrementalExpansion(
+[[nodiscard]] Status ValidateIncrementalExpansion(
     const std::vector<std::uint32_t>& sample_items,
     const std::vector<crowd::Judgment>& judgments, double total_minutes,
     const IncrementalExpansionOptions& options);
@@ -98,6 +98,7 @@ std::vector<ExpansionCheckpoint> RunIncrementalExpansion(
 /// Status-returning variant: invalid inputs (empty sample, non-positive
 /// interval, judgments referencing items outside the sample) come back as
 /// InvalidArgument instead of aborting the process.
+[[nodiscard]]
 StatusOr<std::vector<ExpansionCheckpoint>> RunIncrementalExpansionChecked(
     const PerceptualSpace& space,
     const std::vector<std::uint32_t>& sample_items,

@@ -47,11 +47,12 @@ std::uint64_t ExpansionFingerprint(
 /// Byte-exact checkpoint serialization (doubles stored as IEEE-754 bit
 /// patterns, so a decode(encode(c)) round trip reproduces c bitwise).
 std::string EncodeExpansionCheckpoint(const ExpansionCheckpoint& checkpoint);
-StatusOr<ExpansionCheckpoint> DecodeExpansionCheckpoint(
+[[nodiscard]] StatusOr<ExpansionCheckpoint> DecodeExpansionCheckpoint(
     std::string_view bytes);
 
 /// Reads and replays a manifest journal (NotFound when absent; corrupt
 /// non-tail records are InvalidArgument, a torn tail is dropped).
+[[nodiscard]]
 StatusOr<ExpansionManifest> LoadExpansionManifest(const std::string& path);
 
 /// Durable variant of RunIncrementalExpansionChecked: every checkpoint is
@@ -60,6 +61,7 @@ StatusOr<ExpansionManifest> LoadExpansionManifest(const std::string& path);
 /// interrupted run with the same input fingerprint, they are loaded
 /// verbatim and the loop continues after them — the returned vector is
 /// bit-identical to an uninterrupted run's.
+[[nodiscard]]
 StatusOr<std::vector<ExpansionCheckpoint>> RunIncrementalExpansionDurable(
     const PerceptualSpace& space,
     const std::vector<std::uint32_t>& sample_items,
@@ -71,6 +73,7 @@ StatusOr<std::vector<ExpansionCheckpoint>> RunIncrementalExpansionDurable(
 /// but requires the manifest to exist already (NotFound otherwise) — the
 /// call a recovery supervisor makes after a crash, when starting from
 /// scratch would mean the journal path is wrong.
+[[nodiscard]]
 StatusOr<std::vector<ExpansionCheckpoint>> ResumeIncrementalExpansion(
     const PerceptualSpace& space,
     const std::vector<std::uint32_t>& sample_items,

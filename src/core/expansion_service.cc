@@ -359,6 +359,9 @@ void ExpansionService::UpdateBreakerLocked(const Flight& flight,
 
 void ExpansionService::Drain() {
   std::unique_lock<std::mutex> lock(mu_);
+  // ccdb-lint: allow(blocking-wait) — Drain() is the shutdown barrier: every
+  // flight carries a deadline, so the predicate is bounded by the slowest
+  // in-flight job.
   drain_cv_.wait(lock, [this] { return active_flights_ == 0; });
 }
 

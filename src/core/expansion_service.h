@@ -130,7 +130,7 @@ class ExpansionService {
   /// On success the returned Ticket tracks the (possibly shared) flight;
   /// expansion-level failures are reported through the result's `status`,
   /// not here.
-  StatusOr<Ticket> ExpandAttribute(ExpansionJob job);
+  [[nodiscard]] StatusOr<Ticket> ExpandAttribute(ExpansionJob job);
 
   /// Blocks until no admitted flight is outstanding.
   void Drain();

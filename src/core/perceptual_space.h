@@ -77,9 +77,10 @@ class PerceptualSpace {
   /// biases). Building a space from millions of ratings is the expensive
   /// step of the pipeline; persisting it lets a deployment build once and
   /// answer many schema expansions (and lets the benches share one build).
-  Status SaveToFile(const std::string& path) const;
+  [[nodiscard]] Status SaveToFile(const std::string& path) const;
 
   /// Loads a space previously written by SaveToFile.
+  [[nodiscard]]
   static StatusOr<PerceptualSpace> LoadFromFile(const std::string& path);
 
  private:

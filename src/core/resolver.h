@@ -53,6 +53,7 @@ class PerceptualExpansionResolver : public db::MissingAttributeResolver {
   /// db::MissingAttributeResolver: materializes `column_name` on `table`.
   /// NotFound for unregistered attributes, FailedPrecondition when the
   /// table's row count does not match the space.
+  [[nodiscard]]
   Status Resolve(db::Table& table, const std::string& column_name) override;
 
   /// Incremental maintenance (the paper's "each new movie added to the
@@ -60,6 +61,7 @@ class PerceptualExpansionResolver : public db::MissingAttributeResolver {
   /// the NULL cells of an already-materialized perceptual column using
   /// the extractor trained at expansion time — no new crowd work. Rows
   /// must still correspond 1:1 to space items.
+  [[nodiscard]]
   Status Refresh(db::Table& table, const std::string& column_name);
 
   /// Crowd cost/time stats of the most recent expansion.
@@ -83,8 +85,10 @@ class PerceptualExpansionResolver : public db::MissingAttributeResolver {
   db::Table AuditTable() const;
 
  private:
+  [[nodiscard]]
   Status ResolveBool(db::Table& table, const std::string& column_name,
                      const PerceptualAttributeSpec& spec);
+  [[nodiscard]]
   Status ResolveNumeric(db::Table& table, const std::string& column_name,
                         const PerceptualAttributeSpec& spec);
 

@@ -62,7 +62,7 @@ struct DispatchJournalState {
 /// Rebuilds dispatcher state from journal record payloads (as returned by
 /// ccdb::ReadJournal). Structurally invalid records yield InvalidArgument;
 /// duplicated or reordered copies of valid records are absorbed.
-StatusOr<DispatchJournalState> ReplayDispatchJournal(
+[[nodiscard]] StatusOr<DispatchJournalState> ReplayDispatchJournal(
     const std::vector<std::string>& records);
 
 /// Fingerprint of a dispatch's inputs (pool, labels, HIT + dispatcher
@@ -89,6 +89,7 @@ class DurableDispatcher {
   /// `durability.journal_path` is created on first run and replayed on
   /// subsequent ones; a journal written by a different dispatch is
   /// rejected with InvalidArgument.
+  [[nodiscard]]
   StatusOr<DispatchResult> Run(const std::vector<bool>& true_labels,
                                const HitRunConfig& hit_config) const;
 

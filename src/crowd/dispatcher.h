@@ -123,7 +123,7 @@ struct DispatchResult {
 };
 
 /// Validates dispatcher policy knobs (finite positive backoff, sane caps).
-Status ValidateDispatcherConfig(const DispatcherConfig& config);
+[[nodiscard]] Status ValidateDispatcherConfig(const DispatcherConfig& config);
 
 /// One posting the dispatcher is about to issue: the primary posting
 /// (round 0, the whole sample) or a repost round over the deficient
@@ -158,6 +158,7 @@ class Dispatcher {
   /// Dispatches the classification of `true_labels.size()` items under
   /// `hit_config`. Returns InvalidArgument for malformed configs instead
   /// of aborting; platform-level faults degrade the result, never fail it.
+  [[nodiscard]]
   StatusOr<DispatchResult> Run(const std::vector<bool>& true_labels,
                                const HitRunConfig& hit_config) const;
 
@@ -165,6 +166,7 @@ class Dispatcher {
   /// `provider` instead of the platform directly — the seam the
   /// journaling/replay layer plugs into. Given the same posting results,
   /// the merged output is bit-identical to Run().
+  [[nodiscard]]
   StatusOr<DispatchResult> RunWith(const std::vector<bool>& true_labels,
                                    const HitRunConfig& hit_config,
                                    const PostingProvider& provider) const;

@@ -94,7 +94,7 @@ struct CrowdRunResult {
 /// Validates a crowd run's inputs: non-empty pool and sample, non-zero
 /// judgments_per_item / items_per_hit, sane payments, probabilities in
 /// [0, 1]. Returns InvalidArgument describing the first violation.
-Status ValidateCrowdTask(const WorkerPool& pool,
+[[nodiscard]] Status ValidateCrowdTask(const WorkerPool& pool,
                          const std::vector<bool>& true_labels,
                          const HitRunConfig& config);
 
@@ -111,7 +111,7 @@ CrowdRunResult RunCrowdTask(const WorkerPool& pool,
 /// Status-returning variant of RunCrowdTask: invalid configurations (see
 /// ValidateCrowdTask) come back as errors instead of aborting the process.
 /// Prefer this at system boundaries (dispatcher, expansion pipeline).
-StatusOr<CrowdRunResult> RunCrowdTaskChecked(
+[[nodiscard]] StatusOr<CrowdRunResult> RunCrowdTaskChecked(
     const WorkerPool& pool, const std::vector<bool>& true_labels,
     const HitRunConfig& config);
 

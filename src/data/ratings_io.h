@@ -17,9 +17,10 @@ namespace ccdb::data {
 /// integers; they are densified to contiguous 0-based ids in first-seen
 /// order. This is the adoption path for real Social-Web dumps: export
 /// your platform's ratings, load, build a perceptual space.
-StatusOr<RatingDataset> LoadRatingsCsv(const std::string& path);
+[[nodiscard]] StatusOr<RatingDataset> LoadRatingsCsv(const std::string& path);
 
 /// Writes a dataset in the same layout (with header, densified ids).
+[[nodiscard]]
 Status SaveRatingsCsv(const RatingDataset& dataset, const std::string& path);
 
 }  // namespace ccdb::data

@@ -22,6 +22,7 @@ class MissingAttributeResolver {
 
   /// Materializes `column_name` on `table`. Return a non-OK status when
   /// the attribute cannot be provided (the query then fails).
+  [[nodiscard]]
   virtual Status Resolve(Table& table, const std::string& column_name) = 0;
 };
 
@@ -34,7 +35,7 @@ class Database {
   Database() = default;
 
   /// Registers a table; fails if the name exists.
-  Status AddTable(Table table);
+  [[nodiscard]] Status AddTable(Table table);
 
   /// Look up a table (nullptr if absent). The mutable variant is used by
   /// resolvers and tests.
@@ -49,14 +50,15 @@ class Database {
   /// Parses and executes a SELECT. Missing columns referenced anywhere in
   /// the statement trigger the resolver before evaluation. Returns the
   /// result as a new (anonymous) table.
-  StatusOr<Table> Execute(const std::string& sql);
+  [[nodiscard]] StatusOr<Table> Execute(const std::string& sql);
 
   /// Executes an already parsed statement.
-  StatusOr<Table> ExecuteSelect(const SelectStatement& statement);
+  [[nodiscard]] StatusOr<Table> ExecuteSelect(const SelectStatement& statement);
 
  private:
+  [[nodiscard]]
   Status EnsureColumns(Table& table, const SelectStatement& statement);
-  StatusOr<Table> ExecuteAggregates(
+  [[nodiscard]] StatusOr<Table> ExecuteAggregates(
       const Table& table, const SelectStatement& statement,
       const std::vector<std::size_t>& selected_rows);
 

@@ -25,7 +25,7 @@ namespace ccdb::db {
 /// shorthand for `column = TRUE`. Keywords are case-insensitive;
 /// identifiers are case-sensitive. Returns InvalidArgument with a
 /// position-annotated message on syntax errors.
-StatusOr<SelectStatement> ParseSelect(const std::string& sql);
+[[nodiscard]] StatusOr<SelectStatement> ParseSelect(const std::string& sql);
 
 }  // namespace ccdb::db
 

@@ -32,7 +32,7 @@ class Schema {
   std::size_t FindColumn(const std::string& name) const;
 
   /// Appends a column; fails if the name already exists.
-  Status AddColumn(const ColumnDef& column);
+  [[nodiscard]] Status AddColumn(const ColumnDef& column);
 
  private:
   std::vector<ColumnDef> columns_;
@@ -51,7 +51,7 @@ class Table {
   std::size_t num_rows() const { return num_rows_; }
 
   /// Appends a row; values must match the schema arity and types.
-  Status AppendRow(std::vector<Value> values);
+  [[nodiscard]] Status AppendRow(std::vector<Value> values);
 
   /// Cell accessors (CHECK on out-of-range indices).
   const Value& Get(std::size_t row, std::size_t column) const;
@@ -61,9 +61,10 @@ class Table {
   const std::vector<Value>& Column(std::size_t column) const;
 
   /// Schema expansion: appends a new all-NULL column.
-  Status AddColumn(const ColumnDef& column);
+  [[nodiscard]] Status AddColumn(const ColumnDef& column);
 
   /// Bulk-fills a column from per-row values (sizes must match).
+  [[nodiscard]]
   Status FillColumn(std::size_t column, const std::vector<Value>& values);
 
   /// Renders the first `max_rows` rows as an aligned text table.

@@ -13,10 +13,10 @@ namespace ccdb::db {
 /// string cells are RFC-4180 quoted when needed. An expanded schema —
 /// including the crowd/space-materialized perceptual columns — survives
 /// the round trip, so an expansion paid for once can be shipped.
-Status SaveTableCsv(const Table& table, const std::string& path);
+[[nodiscard]] Status SaveTableCsv(const Table& table, const std::string& path);
 
 /// Loads a table written by SaveTableCsv. `table_name` names the result.
-StatusOr<Table> LoadTableCsv(const std::string& path,
+[[nodiscard]] StatusOr<Table> LoadTableCsv(const std::string& path,
                              const std::string& table_name);
 
 }  // namespace ccdb::db

@@ -39,7 +39,7 @@ struct AlsReport {
 
 /// Runs ALS over `data`, mutating `model` in place. Returns
 /// InvalidArgument for non-SVD models.
-StatusOr<AlsReport> TrainAls(const AlsTrainerConfig& config,
+[[nodiscard]] StatusOr<AlsReport> TrainAls(const AlsTrainerConfig& config,
                              const RatingDataset& data, FactorModel& model);
 
 }  // namespace ccdb::factorization

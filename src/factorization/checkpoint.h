@@ -31,6 +31,7 @@ std::string EncodeFactorModel(const FactorModel& model);
 /// Restores trainable state into `model`, which must have been constructed
 /// from the same (config, dataset) pair — shape mismatches are rejected
 /// with InvalidArgument.
+[[nodiscard]]
 Status DecodeFactorModelInto(std::string_view bytes, FactorModel& model);
 
 /// Durable TrainSgd: snapshots (model + schedule state + telemetry) every
@@ -40,13 +41,13 @@ Status DecodeFactorModelInto(std::string_view bytes, FactorModel& model);
 /// resumes from the snapshotted epoch; the final model and report are
 /// bit-identical to an uninterrupted run. A snapshot from a different run
 /// is rejected with InvalidArgument.
-StatusOr<TrainingReport> TrainSgdDurable(
+[[nodiscard]] StatusOr<TrainingReport> TrainSgdDurable(
     const SgdTrainerConfig& config, const RatingDataset& data,
     FactorModel& model, const TrainerCheckpointOptions& checkpoint);
 
 /// Durable TrainAls: sweep-level snapshots with the same semantics (ALS is
 /// deterministic, so resume needs no RNG fast-forward).
-StatusOr<AlsReport> TrainAlsDurable(
+[[nodiscard]] StatusOr<AlsReport> TrainAlsDurable(
     const AlsTrainerConfig& config, const RatingDataset& data,
     FactorModel& model, const TrainerCheckpointOptions& checkpoint);
 

@@ -71,9 +71,8 @@ SparseMatrix BuildTermDocMatrix(const std::vector<Document>& documents,
   // Document frequency per term for the idf weight.
   std::vector<std::size_t> document_frequency(matrix.num_terms, 0);
   for (const auto& doc_counts : counts) {
-    for (const auto& [term, count] : doc_counts) {
-      (void)count;
-      ++document_frequency[term];
+    for (const auto& term_count : doc_counts) {
+      ++document_frequency[term_count.first];
     }
   }
 

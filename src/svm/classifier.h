@@ -67,10 +67,10 @@ class SvmModel {
   /// Serializes the trained model (kernel config, rho, support vectors,
   /// coefficients) to a binary file — a trained extractor can be shipped
   /// and applied without retraining.
-  Status SaveToFile(const std::string& path) const;
+  [[nodiscard]] Status SaveToFile(const std::string& path) const;
 
   /// Loads a model written by SaveToFile.
-  static StatusOr<SvmModel> LoadFromFile(const std::string& path);
+  [[nodiscard]] static StatusOr<SvmModel> LoadFromFile(const std::string& path);
 
  private:
   Matrix support_vectors_;

@@ -88,6 +88,8 @@ TEST(CancellationTest, SourceFiresItsTokens) {
 TEST(CancellationTest, TokenVisibleAcrossThreads) {
   CancellationSource source;
   const CancellationToken token = source.token();
+  // ccdb-lint: allow(raw-thread) — the test exercises raw cross-thread token
+  // visibility; a pool would hide the handoff.
   std::thread firer([&source] { source.Cancel(); });
   while (!token.cancelled()) {
     std::this_thread::yield();
@@ -167,6 +169,8 @@ TEST(TrainerCancellationTest, MidTrainingCancelStopsWithinOneEpoch) {
   factorization::SgdTrainerConfig config;
   config.max_epochs = 100000;  // would run ~forever without the stop
   config.stop = StopCondition(source.token());
+  // ccdb-lint: allow(raw-thread) — cancellation must arrive from outside the
+  // pool to prove mid-flight token delivery.
   std::thread firer([&source] {
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
     source.Cancel();
@@ -272,6 +276,8 @@ TEST(SvmCancellationTest, PreCancelledTsvmReportsStop) {
   options.kernel.type = svm::KernelType::kLinear;
   options.stop = StopCondition(Deadline::AfterSeconds(0.0));
   svm::TsvmReport report;
+  // ccdb-lint: allow(status-nodiscard) — outcome is asserted via
+  // report.stop_status on the next line.
   (void)svm::TrainTsvm(labeled, labels, unlabeled, options, &report);
   EXPECT_EQ(report.stop_status.code(), StatusCode::kDeadlineExceeded);
 }
@@ -443,6 +449,8 @@ TEST_F(ExpansionCancellationTest, CancelledDurableRunResumesExactly) {
   CancellationSource source;
   core::IncrementalExpansionOptions stopped = options;
   stopped.stop = StopCondition(source.token());
+  // ccdb-lint: allow(raw-thread) — cancellation must arrive from outside the
+  // pool to prove mid-flight token delivery.
   std::thread firer([&source] {
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
     source.Cancel();

@@ -710,6 +710,8 @@ TEST(SharedThreadPoolTest, ConcurrentParallelForCallersDoNotInterfere) {
   // once; each must see exactly its own range completed (the per-call
   // latch must not count the other caller's tasks).
   std::vector<std::atomic<int>> first(200), second(200);
+  // ccdb-lint: allow(raw-thread) — the test needs two independent OS threads
+  // to race ParallelFor on the shared pool.
   std::thread other([&] {
     SharedThreadPool().ParallelFor(0, 200, [&](std::size_t i) {
       ++second[i];

@@ -681,7 +681,6 @@ TEST_F(PerceptualSpaceFixture, ResilientExpansionTopsUpOneClassSample) {
   // exactly the one-class situation the top-up is for.
   setup.request.gold_sample_items.clear();
   setup.sample_truth.clear();
-  std::uint32_t positive_item = 0;
   bool have_positive = false;
   for (std::uint32_t m = 0;
        m < world_->num_items() &&
@@ -689,15 +688,11 @@ TEST_F(PerceptualSpaceFixture, ResilientExpansionTopsUpOneClassSample) {
        ++m) {
     const bool label = world_->GenreLabel(0, m);
     if (label && have_positive) continue;
-    if (label) {
-      have_positive = true;
-      positive_item = m;
-    }
+    if (label) have_positive = true;
     setup.request.gold_sample_items.push_back(m);
     setup.sample_truth.push_back(label);
   }
   ASSERT_TRUE(have_positive);
-  (void)positive_item;
   setup.hit_config.judgments_per_item = 1;
   setup.hit_config.perception_flip_rate = 0.0;
   for (auto& worker : setup.pool.workers) worker.knowledge = 0.06;

@@ -1,0 +1,21 @@
+// Fixture: the negative case — idiomatic ccdb code that must produce zero
+// findings. Mentions of banned constructs live only in comments and
+// strings, waits are bounded, and discards are consumed.
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+
+int Produce();
+
+int Fixture() {
+  // Comments may say std::thread, rand(), throw, or wait() freely.
+  const std::string log = "worker used std::thread and called wait()";
+  std::mutex mu;
+  std::condition_variable cv;
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait_for(lock, std::chrono::milliseconds(1));
+  const char* raw = R"(throw std::async (void)ignored)";
+  const int value = Produce();
+  return value + static_cast<int>(log.size()) + (raw != nullptr ? 1 : 0);
+}

@@ -1,0 +1,18 @@
+// Fixture: a clean header — path-matching guard, annotated Status APIs,
+// namespace-qualified usings only.
+#ifndef CCDB_CLEAN_CLEAN_HEADER_H_
+#define CCDB_CLEAN_CLEAN_HEADER_H_
+
+#include <string>
+
+namespace ccdb {
+
+class Status;
+
+using StringAlias = std::string;  // `using` without `namespace` is fine
+
+[[nodiscard]] Status CleanApi(const std::string& input);
+
+}  // namespace ccdb
+
+#endif  // CCDB_CLEAN_CLEAN_HEADER_H_

@@ -1,0 +1,24 @@
+// Fixture: the enforcement root itself regressed — Status/StatusOr lost
+// their class-level [[nodiscard]] (status-nodiscard rule a). The path
+// src/common/status.h is what puts this file in scope for the check.
+#ifndef CCDB_COMMON_STATUS_H_
+#define CCDB_COMMON_STATUS_H_
+
+namespace ccdb {
+
+class Status {  // line 9
+ public:
+  bool ok() const { return true; }
+};
+
+template <typename T>
+class StatusOr {  // line 15
+ public:
+  bool ok() const { return true; }
+};
+
+class Status;  // forward declaration: the trailing ';' keeps it clean
+
+}  // namespace ccdb
+
+#endif  // CCDB_COMMON_STATUS_H_

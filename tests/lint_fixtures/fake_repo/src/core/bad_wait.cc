@@ -1,0 +1,17 @@
+// Fixture: blocking-wait violations in cancellable code (src/core scope).
+// Linted only by tests/lint_test.cc; never compiled, never tree-gated.
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+void Fixture() {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::unique_lock<std::mutex> lock(mu);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));  // line 12
+  cv.wait(lock);                                              // line 13
+  cv.wait_for(lock, std::chrono::milliseconds(5));  // bounded: no finding
+  std::this_thread::sleep_until(                    // line 15
+      std::chrono::steady_clock::now());
+}

@@ -1,0 +1,24 @@
+// Fixture: every violation below carries a ccdb-lint allow() and must be
+// suppressed — both the same-line form and the comment-only-line form
+// (which covers the next code line, wrapped rationale lines included).
+#include <chrono>
+#include <thread>
+
+int Produce();
+
+void Fixture() {
+  std::thread worker([] {});  // ccdb-lint: allow(raw-thread) — fixture
+  worker.join();
+
+  // ccdb-lint: allow(blocking-wait) — fixture demonstrates that a
+  // comment-only allow() covers the next code line even when the wrapped
+  // rationale continues across several comment lines.
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+  // ccdb-lint: allow(status-nodiscard) — result deliberately unused here
+  (void)Produce();
+
+  // A multi-rule allow list also parses:
+  // ccdb-lint: allow(raw-thread, status-nodiscard)
+  (void)std::thread([] {}).joinable();
+}

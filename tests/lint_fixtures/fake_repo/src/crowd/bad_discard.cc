@@ -1,0 +1,13 @@
+// Fixture: unjustified explicit discards (status-nodiscard rule b).
+int Produce();
+
+void Fixture() {
+  (void)Produce();             // line 5
+  static_cast<void>(Produce());  // line 6
+  int consumed = Produce();
+  (void)(consumed + 1);  // line 8 — parenthesized expression also flagged
+}
+
+void Signatures(void) {
+  // `(void)` parameter lists are not discards: no finding on line 11.
+}

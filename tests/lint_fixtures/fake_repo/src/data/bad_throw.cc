@@ -1,0 +1,11 @@
+// Fixture: no-throw violation outside tests/.
+#include <stdexcept>
+
+void Fixture(int value) {
+  if (value < 0) {
+    throw std::invalid_argument("negative");  // line 6
+  }
+  // Prose saying "never throw" must not fire; neither does a string:
+  const char* s = "throw";
+  (void)s;  // ccdb-lint: allow(status-nodiscard) — fixture keeps s used
+}

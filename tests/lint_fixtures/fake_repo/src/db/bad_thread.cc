@@ -1,0 +1,10 @@
+// Fixture: raw-thread violations outside common/thread_pool.*.
+#include <future>
+#include <thread>
+
+void Fixture() {
+  std::thread worker([] {});              // line 6
+  auto f = std::async([] { return 1; });  // line 7
+  worker.join();
+  f.wait();  // .wait() is only flagged under src/crowd and src/core
+}

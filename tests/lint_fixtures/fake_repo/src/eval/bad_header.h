@@ -1,0 +1,11 @@
+// Fixture: include-guard mismatch + using namespace in a header.
+#ifndef WRONG_GUARD_NAME_H_
+#define WRONG_GUARD_NAME_H_
+
+#include <vector>
+
+using namespace std;  // line 7
+
+inline int Fixture() { return 1; }
+
+#endif  // WRONG_GUARD_NAME_H_

@@ -1,0 +1,32 @@
+// Fixture: Status-returning APIs in a src/ header without [[nodiscard]]
+// (status-nodiscard rule c). The guard and the rest of the file are clean
+// so only the two unannotated declarations fire.
+#ifndef CCDB_LSI_MISSING_ANNOTATION_H_
+#define CCDB_LSI_MISSING_ANNOTATION_H_
+
+#include <string>
+
+namespace ccdb {
+
+class Status;
+template <typename T>
+class StatusOr;
+
+Status Unannotated(const std::string& path);  // line 15
+StatusOr<int> AlsoUnannotated();              // line 16
+
+[[nodiscard]] Status Annotated(const std::string& path);  // clean
+[[nodiscard]] StatusOr<int> AlsoAnnotated();              // clean
+
+// Attribute on its own line also counts as annotated:
+[[nodiscard]]
+StatusOr<std::string> AnnotatedAbove();
+
+// Not function declarations — no findings:
+struct Holder {
+  int status_like_member = 0;
+};
+
+}  // namespace ccdb
+
+#endif  // CCDB_LSI_MISSING_ANNOTATION_H_

@@ -1,0 +1,13 @@
+// Fixture: rng-source violations outside common/rng.*.
+#include <cstdlib>
+#include <random>
+
+int Fixture() {
+  std::random_device device;              // line 6
+  std::mt19937 engine(device());          // line 7
+  std::srand(42);                         // line 8
+  int x = std::rand();                    // line 9
+  // A comment mentioning rand() must not fire; nor "std::mt19937" below:
+  const char* s = "std::mt19937 rand()";  // strings are blanked
+  return x + static_cast<int>(engine()) + (s != nullptr ? 1 : 0);
+}

@@ -220,6 +220,8 @@ TEST_F(RecoveryTest, KillAtEveryCrashPointThenResumeIsBitIdentical) {
       bool crashed = false;
       try {
         auto result = scenario.RunDurable(journal);
+        // ccdb-lint: allow(status-nodiscard) — the run is expected to die at
+        // the armed crash point; the result is unreachable on the crash path.
         (void)result;
       } catch (const SimulatedCrash& crash) {
         crashed = true;
@@ -372,6 +374,8 @@ TEST_F(ExpansionRecoveryTest, KillAtEveryCheckpointThenResumeIsBitIdentical) {
       try {
         auto result = core::RunIncrementalExpansionDurable(
             *space_, sample_, judgments_, 30.0, Options(), durable);
+        // ccdb-lint: allow(status-nodiscard) — the run is expected to die at
+        // the armed crash point; the result is unreachable on the crash path.
         (void)result;
       } catch (const SimulatedCrash&) {
         crashed = true;

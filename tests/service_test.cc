@@ -255,6 +255,8 @@ TEST_F(ExpansionServiceTest, CancelledWaiterAbandonsWithoutKillingFlight) {
   impatient.Cancel();
   const SchemaExpansionResult abandoned = ticket_a.value().Wait();
   EXPECT_EQ(abandoned.status.code(), StatusCode::kCancelled);
+  // ccdb-lint: allow(status-nodiscard) — occupier flight only exists to keep
+  // the pool busy; its result is irrelevant.
   (void)occupier.value().Wait();
   const SchemaExpansionResult kept = ticket_b.value().Wait();
   EXPECT_TRUE(kept.success) << kept.status.ToString();
@@ -280,6 +282,8 @@ TEST_F(ExpansionServiceTest, LastWaiterCancellationStopsTheFlight) {
   const SchemaExpansionResult result = ticket.value().Wait();
   EXPECT_EQ(result.status.code(), StatusCode::kCancelled);
 
+  // ccdb-lint: allow(status-nodiscard) — occupier flight only exists to keep
+  // the pool busy; its result is irrelevant.
   (void)occupier.value().Wait();
   service.Drain();
   const ServiceStats stats = service.stats();
@@ -350,6 +354,8 @@ TEST_F(ExpansionServiceTest, FailedProbeReopensTheBreaker) {
     auto ticket =
         service.ExpandAttribute(FailingJob("bad_" + std::to_string(i)));
     ASSERT_TRUE(ticket.ok());
+    // ccdb-lint: allow(status-nodiscard) — breaker test asserts on
+    // breaker_state(), not the failed result.
     (void)ticket.value().Wait();
     service.Drain();
   }
@@ -412,6 +418,8 @@ TEST_F(ExpansionServiceTest, ConcurrentStressWithRandomCancellations) {
   std::atomic<std::uint64_t> resolved{0};
   std::atomic<std::uint64_t> rejected{0};
 
+  // ccdb-lint: allow(raw-thread) — the stress test deliberately submits from
+  // raw threads to race the service's own pool.
   std::vector<std::thread> threads;
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([&, t] {
@@ -435,6 +443,8 @@ TEST_F(ExpansionServiceTest, ConcurrentStressWithRandomCancellations) {
               static_cast<int>(rng.Uniform(0.0, 2000.0))));
           source.Cancel();
         }
+        // ccdb-lint: allow(status-nodiscard) — stress loop cares about
+        // completion counts, not individual results.
         (void)ticket.value().Wait();
         ++resolved;
       }

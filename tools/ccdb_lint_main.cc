@@ -1,0 +1,150 @@
+// ccdb_lint — the project-invariant static checker. Scans the tree
+// token-by-token for violations of the conventions DESIGN.md states but
+// generic tooling cannot enforce (Status discipline, seeded randomness,
+// pooled threads, bounded waits, no exceptions, header hygiene). Exit 0
+// when clean, 1 on findings not covered by the baseline, 2 on usage or
+// I/O errors. See DESIGN.md §10 for the rule catalogue.
+//
+// Usage:
+//   ccdb_lint --root <repo> [--baseline <file>] [--write-baseline <file>]
+//             [--list-rules] [dir-or-file ...]
+//
+// With no positional arguments the default scan set is src, tests, bench,
+// tools, and examples. Positional arguments name directories (scanned
+// recursively) or individual files, relative to --root.
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: ccdb_lint --root <repo> [--baseline <file>]\n"
+               "                 [--write-baseline <file>] [--list-rules]\n"
+               "                 [dir-or-file ...]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string baseline_path;
+  std::string write_baseline_path;
+  bool list_rules = false;
+  std::vector<std::string> targets;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](std::string& out) {
+      if (i + 1 >= argc) return false;
+      out = argv[++i];
+      return true;
+    };
+    if (arg == "--root") {
+      if (!next(root)) return Usage();
+    } else if (arg == "--baseline") {
+      if (!next(baseline_path)) return Usage();
+    } else if (arg == "--write-baseline") {
+      if (!next(write_baseline_path)) return Usage();
+    } else if (arg == "--list-rules") {
+      list_rules = true;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "ccdb_lint: unknown flag %s\n", arg.c_str());
+      return Usage();
+    } else {
+      targets.push_back(arg);
+    }
+  }
+
+  if (list_rules) {
+    for (const std::string& rule : ccdb::lint::AllRules()) {
+      std::printf("%s\n", rule.c_str());
+    }
+    return 0;
+  }
+
+  bool defaulted_targets = false;
+  if (targets.empty()) {
+    targets = {"src", "tests", "bench", "tools", "examples"};
+    defaulted_targets = true;
+  }
+
+  // Split targets into directories (tree-scanned, fixtures skipped) and
+  // individual files (linted directly, even inside lint_fixtures — this is
+  // how a human reproduces a fixture diagnostic from the command line).
+  std::vector<std::string> dirs;
+  std::vector<ccdb::lint::Finding> findings;
+  for (const std::string& target : targets) {
+    const std::filesystem::path full = std::filesystem::path(root) / target;
+    std::error_code ec;
+    if (std::filesystem::is_directory(full, ec)) {
+      dirs.push_back(target);
+    } else if (!defaulted_targets) {
+      ccdb::lint::LintFile(root, target, findings);
+    }
+    // A missing default directory is fine (e.g. a partial checkout or a
+    // fixture root); an explicitly named missing target reports io-error.
+  }
+  std::vector<ccdb::lint::Finding> tree = ccdb::lint::LintTree(root, dirs);
+  findings.insert(findings.end(), tree.begin(), tree.end());
+
+  if (!write_baseline_path.empty()) {
+    std::ofstream out(write_baseline_path);
+    if (!out) {
+      std::fprintf(stderr, "ccdb_lint: cannot write baseline %s\n",
+                   write_baseline_path.c_str());
+      return 2;
+    }
+    out << "# ccdb_lint baseline: pre-existing findings the gate tolerates.\n"
+           "# One `path:line:rule` per line; regenerate with\n"
+           "# ccdb_lint --root . --write-baseline tools/lint_baseline.txt\n"
+           "# Shrink-only: new entries mean a regression slipped in.\n";
+    for (const ccdb::lint::Finding& f : findings) {
+      out << ccdb::lint::BaselineKey(f) << "\n";
+    }
+    std::printf("ccdb_lint: wrote %zu baseline entr%s to %s\n",
+                findings.size(), findings.size() == 1 ? "y" : "ies",
+                write_baseline_path.c_str());
+    return 0;
+  }
+
+  std::set<std::string> baseline;
+  if (!baseline_path.empty()) {
+    bool ok = false;
+    baseline = ccdb::lint::LoadBaseline(baseline_path, ok);
+    if (!ok) {
+      std::fprintf(stderr, "ccdb_lint: cannot read baseline %s\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+  }
+
+  int new_findings = 0;
+  int baselined = 0;
+  for (const ccdb::lint::Finding& f : findings) {
+    if (baseline.count(ccdb::lint::BaselineKey(f)) > 0) {
+      ++baselined;
+      continue;
+    }
+    ++new_findings;
+    std::printf("%s\n", ccdb::lint::FormatFinding(f).c_str());
+  }
+  if (new_findings > 0) {
+    std::printf("ccdb_lint: %d finding%s (%d baselined)\n", new_findings,
+                new_findings == 1 ? "" : "s", baselined);
+    return 1;
+  }
+  std::printf("ccdb_lint: clean (%d baselined)\n", baselined);
+  return 0;
+}
