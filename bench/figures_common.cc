@@ -1,9 +1,10 @@
 #include "figures_common.h"
 
 #include <cstdio>
-#include <fstream>
+#include <sstream>
 
 #include "common/csv.h"
+#include "common/io.h"
 #include "common/rng.h"
 #include "core/expansion.h"
 #include "crowd/aggregation.h"
@@ -79,11 +80,7 @@ std::vector<BoostSeries> RunBoostingExperiments(const MovieContext& context) {
 
 void WriteBoostCsv(const std::vector<BoostSeries>& series,
                    const std::string& path) {
-  std::ofstream out(path);
-  if (!out) {
-    std::printf("[figures] could not write %s\n", path.c_str());
-    return;
-  }
+  std::ostringstream out;
   CsvWriter csv(out);
   csv.WriteRow({"experiment", "minutes", "rel_time", "dollars",
                 "crowd_correct", "boosted_correct", "training_size"});
@@ -95,6 +92,11 @@ void WriteBoostCsv(const std::vector<BoostSeries>& series,
                     std::to_string(p.boosted_correct),
                     std::to_string(p.training_size)});
     }
+  }
+  if (Status status = Fs::Posix().WriteFile(path, out.str()); !status.ok()) {
+    std::printf("[figures] could not write %s: %s\n", path.c_str(),
+                status.ToString().c_str());
+    return;
   }
   std::printf("[figures] wrote %s\n", path.c_str());
 }

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Chaos gate (DESIGN.md §11): builds the tree and runs the seeded chaos
+# soak — storage faults (torn tails, ENOSPC, bit flips, failed
+# open/rename/fsync), crowd faults, random cancellation and service
+# overload over every durable subsystem, with the three recovery
+# invariants (no lost ack'd judgment, no duplicate spend, bit-identical
+# resume) checked after every simulated crash. The full soak log lands in
+# chaos_soak.log (uploaded as a CI artifact); a failure prints the seed,
+# and `build/bench/chaos_soak --seed=<S> --iters=1` replays it exactly.
+#
+# Knobs: CCDB_CHAOS_ITERS (default 200) and CCDB_CHAOS_SEED (default 1)
+# pass through to the soak binary; CCDB_CHAOS_DIR relocates its scratch
+# files.
+#
+# Usage: scripts/check_chaos.sh [extra ctest args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+LOG="${LOG:-chaos_soak.log}"
+
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target chaos_soak >/dev/null
+
+status=0
+ctest --test-dir "$BUILD_DIR" --output-on-failure -L chaos "$@" \
+  2>&1 | tee "$LOG" || status=$?
+
+if [[ $status -ne 0 ]]; then
+  echo "check_chaos: FAILED — grep '$LOG' for the failing seed and replay" \
+       "with: $BUILD_DIR/bench/chaos_soak --seed=<S> --iters=1"
+else
+  echo "check_chaos: clean (soak log in $LOG)"
+fi
+exit $status

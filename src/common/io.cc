@@ -1,0 +1,473 @@
+#include "common/io.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+namespace ccdb {
+namespace {
+
+std::string ErrnoText() {
+  return std::string(std::strerror(errno));
+}
+
+/// Directory component of `path` ("." when there is none).
+std::string DirOf(const std::string& path) {
+  const std::size_t slash = path.rfind('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+struct FileCloser {
+  void operator()(std::FILE* file) const {
+    if (file != nullptr) std::fclose(file);
+  }
+};
+using FileHandle = std::unique_ptr<std::FILE, FileCloser>;
+
+// ------------------------------------------------------------- PosixFs
+
+class PosixWritableFile final : public WritableFile {
+ public:
+  PosixWritableFile(std::string path, std::FILE* file)
+      : path_(std::move(path)), file_(file) {}
+
+  Status Append(std::string_view data) override {
+    if (file_ == nullptr) {
+      return Status::FailedPrecondition("file already closed: " + path_);
+    }
+    if (!data.empty() &&
+        std::fwrite(data.data(), 1, data.size(), file_.get()) !=
+            data.size()) {
+      return Status::Internal("short write to " + path_ + ": " + ErrnoText());
+    }
+    return Status::Ok();
+  }
+
+  Status Flush() override {
+    if (file_ == nullptr) {
+      return Status::FailedPrecondition("file already closed: " + path_);
+    }
+    if (std::fflush(file_.get()) != 0) {
+      return Status::Internal("fflush failed on " + path_ + ": " +
+                              ErrnoText());
+    }
+    return Status::Ok();
+  }
+
+  Status Sync() override {
+    if (Status status = Flush(); !status.ok()) return status;
+    if (::fsync(::fileno(file_.get())) != 0) {
+      return Status::Internal("fsync failed on " + path_ + ": " +
+                              ErrnoText());
+    }
+    return Status::Ok();
+  }
+
+  Status Close() override {
+    if (file_ == nullptr) return Status::Ok();
+    std::FILE* raw = file_.release();
+    if (std::fclose(raw) != 0) {
+      return Status::Internal("close failed on " + path_ + ": " +
+                              ErrnoText());
+    }
+    return Status::Ok();
+  }
+
+ private:
+  std::string path_;
+  FileHandle file_;
+};
+
+class PosixFs final : public Fs {
+ public:
+  StatusOr<std::unique_ptr<WritableFile>> OpenForWrite(
+      const std::string& path, WriteMode mode) override {
+    std::FILE* file =
+        std::fopen(path.c_str(), mode == WriteMode::kAppend ? "ab" : "wb");
+    if (file == nullptr) {
+      return Status::Internal("cannot open for writing: " + path + ": " +
+                              ErrnoText());
+    }
+    return std::unique_ptr<WritableFile>(
+        new PosixWritableFile(path, file));
+  }
+
+  StatusOr<std::string> ReadFile(const std::string& path) override {
+    FileHandle file(std::fopen(path.c_str(), "rb"));
+    if (file == nullptr) return Status::NotFound("cannot open " + path);
+    std::string bytes;
+    char buffer[1 << 16];
+    std::size_t n = 0;
+    while ((n = std::fread(buffer, 1, sizeof(buffer), file.get())) > 0) {
+      bytes.append(buffer, n);
+    }
+    if (std::ferror(file.get()) != 0) {
+      return Status::Internal("read error on " + path);
+    }
+    return bytes;
+  }
+
+  Status Rename(const std::string& from, const std::string& to) override {
+    if (std::rename(from.c_str(), to.c_str()) != 0) {
+      return Status::Internal("rename failed: " + from + " -> " + to + ": " +
+                              ErrnoText());
+    }
+    return Status::Ok();
+  }
+
+  Status Remove(const std::string& path) override {
+    if (std::remove(path.c_str()) != 0) {
+      if (errno == ENOENT) return Status::NotFound("no such file: " + path);
+      return Status::Internal("remove failed: " + path + ": " + ErrnoText());
+    }
+    return Status::Ok();
+  }
+
+  Status Truncate(const std::string& path, std::uint64_t size) override {
+    if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+      if (errno == ENOENT) return Status::NotFound("no such file: " + path);
+      return Status::Internal("truncate failed: " + path + ": " +
+                              ErrnoText());
+    }
+    return Status::Ok();
+  }
+
+  StatusOr<bool> Exists(const std::string& path) override {
+    return ::access(path.c_str(), F_OK) == 0;
+  }
+
+  Status SyncDirContaining(const std::string& path) override {
+    const std::string dir = DirOf(path);
+    const int fd = ::open(dir.c_str(), O_RDONLY);
+    if (fd < 0) {
+      return Status::Internal("cannot open directory for fsync: " + dir +
+                              ": " + ErrnoText());
+    }
+    const int rc = ::fsync(fd);
+    ::close(fd);
+    if (rc != 0) {
+      return Status::Internal("directory fsync failed: " + dir + ": " +
+                              ErrnoText());
+    }
+    return Status::Ok();
+  }
+};
+
+}  // namespace
+
+// ----------------------------------------------------------- Fs helpers
+
+Status Fs::WriteFile(const std::string& path, std::string_view bytes) {
+  StatusOr<std::unique_ptr<WritableFile>> file =
+      OpenForWrite(path, WriteMode::kTruncate);
+  if (!file.ok()) return file.status();
+  if (Status status = file.value()->Append(bytes); !status.ok()) {
+    // ccdb-lint: allow(status-nodiscard) — best-effort close on the error
+    // path; the append failure is the error that matters.
+    (void)file.value()->Close();
+    return status;
+  }
+  return file.value()->Close();
+}
+
+Status Fs::WriteFileAtomic(const std::string& path, std::string_view bytes) {
+  const std::string tmp = path + ".tmp";
+  Status failed = Status::Ok();
+  {
+    StatusOr<std::unique_ptr<WritableFile>> file =
+        OpenForWrite(tmp, WriteMode::kTruncate);
+    if (!file.ok()) return file.status();
+    WritableFile& out = *file.value();
+    failed = out.Append(bytes);
+    if (failed.ok()) failed = out.Sync();
+    if (failed.ok()) {
+      failed = out.Close();
+    } else {
+      // ccdb-lint: allow(status-nodiscard) — best-effort close before the
+      // tmp cleanup; the earlier write/sync failure is the reported error.
+      (void)out.Close();
+    }
+  }
+  if (failed.ok()) failed = Rename(tmp, path);
+  if (!failed.ok()) {
+    // Never leak the .tmp: remove it and surface the original error (a
+    // NotFound from Remove just means the open itself never created it).
+    // ccdb-lint: allow(status-nodiscard) — cleanup of the error path.
+    (void)Remove(tmp);
+    return failed;
+  }
+  // The rename published the file; fsync the directory so the publish
+  // itself survives a crash (data fsync'd into an unlinked entry is gone).
+  return SyncDirContaining(path);
+}
+
+Fs& Fs::Posix() {
+  static PosixFs* fs = new PosixFs();
+  return *fs;
+}
+
+// ------------------------------------------------------------ trace
+
+std::string IoTraceEntry::ToString() const {
+  std::string line = op + " " + path;
+  if (fault) line += " FAULT(" + fault_kind + ")";
+  return line;
+}
+
+// ------------------------------------------------------------ FaultFs
+
+/// Write handle decorator: applies ENOSPC / short-write faults per append,
+/// tracks the synced-vs-unsynced boundary, and tears off a random unsynced
+/// suffix on a faulted Close — exactly the data a crash could lose.
+class FaultFs::FaultWritableFile final : public WritableFile {
+ public:
+  FaultWritableFile(FaultFs& fs, std::string path,
+                    std::unique_ptr<WritableFile> inner,
+                    std::uint64_t initial_size)
+      : fs_(fs),
+        path_(std::move(path)),
+        inner_(std::move(inner)),
+        size_(initial_size),
+        synced_size_(initial_size) {}
+
+  Status Append(std::string_view data) override {
+    if (inner_ == nullptr) {
+      return Status::FailedPrecondition("file already closed: " + path_);
+    }
+    if (fs_.OverWriteBudget(data.size())) {
+      fs_.RecordOp("append", path_, true, "enospc-budget");
+      return Status::ResourceExhausted("injected ENOSPC (budget) on " +
+                                       path_);
+    }
+    if (fs_.ShouldFault("append", path_, fs_.options_.write_error_prob,
+                        "enospc")) {
+      return Status::ResourceExhausted("injected ENOSPC on " + path_);
+    }
+    if (!data.empty() &&
+        fs_.ShouldFault("append", path_, fs_.options_.short_write_prob,
+                        "short-write")) {
+      const std::uint64_t prefix = fs_.RandomBelow(data.size());
+      if (Status status = inner_->Append(data.substr(0, prefix));
+          !status.ok()) {
+        return status;
+      }
+      size_ += prefix;
+      return Status::ResourceExhausted(
+          "injected short write (" + std::to_string(prefix) + "/" +
+          std::to_string(data.size()) + " bytes) on " + path_);
+    }
+    if (Status status = inner_->Append(data); !status.ok()) return status;
+    size_ += data.size();
+    return Status::Ok();
+  }
+
+  Status Flush() override {
+    if (inner_ == nullptr) {
+      return Status::FailedPrecondition("file already closed: " + path_);
+    }
+    return inner_->Flush();
+  }
+
+  Status Sync() override {
+    if (inner_ == nullptr) {
+      return Status::FailedPrecondition("file already closed: " + path_);
+    }
+    if (fs_.ShouldFault("sync", path_, fs_.options_.sync_error_prob,
+                        "sync-error")) {
+      return Status::Unavailable("injected fsync failure on " + path_);
+    }
+    if (Status status = inner_->Sync(); !status.ok()) return status;
+    synced_size_ = size_;
+    return Status::Ok();
+  }
+
+  Status Close() override {
+    if (inner_ == nullptr) return Status::Ok();
+    std::unique_ptr<WritableFile> inner = std::move(inner_);
+    const bool tear =
+        size_ > synced_size_ &&
+        fs_.ShouldFault("close", path_, fs_.options_.torn_tail_prob,
+                        "torn-tail");
+    if (Status status = inner->Close(); !status.ok()) return status;
+    if (tear) {
+      // Keep a random prefix of the unsynced tail; drop the rest — what a
+      // power cut between write() and fsync() leaves behind. Close itself
+      // still "succeeds": a crash never reports an error either.
+      const std::uint64_t unsynced = size_ - synced_size_;
+      const std::uint64_t keep = fs_.RandomBelow(unsynced);
+      // ccdb-lint: allow(status-nodiscard) — the tear is the fault being
+      // injected; its own failure would only make the tear smaller.
+      (void)fs_.base_.Truncate(path_, synced_size_ + keep);
+    }
+    return Status::Ok();
+  }
+
+ private:
+  FaultFs& fs_;
+  std::string path_;
+  std::unique_ptr<WritableFile> inner_;
+  std::uint64_t size_ = 0;
+  std::uint64_t synced_size_ = 0;
+};
+
+FaultFs::FaultFs(FaultFsOptions options, Fs* base)
+    : options_(options), base_(ResolveFs(base)), rng_(options.seed) {}
+
+bool FaultFs::ShouldFault(const std::string& op, const std::string& path,
+                          double prob, const char* kind) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++op_count_;
+  const bool forced = options_.fault_at_op != 0 &&
+                      op_count_ == options_.fault_at_op;
+  const bool fault = forced || (prob > 0.0 && rng_.Bernoulli(prob));
+  trace_.push_back(IoTraceEntry{op, path, fault, fault ? kind : ""});
+  if (fault) ++fault_count_;
+  return fault;
+}
+
+void FaultFs::RecordOp(const std::string& op, const std::string& path,
+                       bool fault, const char* kind) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  trace_.push_back(IoTraceEntry{op, path, fault, fault ? kind : ""});
+  if (fault) ++fault_count_;
+}
+
+bool FaultFs::OverWriteBudget(std::uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (options_.max_total_write_bytes == 0) {
+    bytes_written_ += bytes;
+    return false;
+  }
+  if (bytes_written_ + bytes > options_.max_total_write_bytes) return true;
+  bytes_written_ += bytes;
+  return false;
+}
+
+std::uint64_t FaultFs::RandomBelow(std::uint64_t n) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return n == 0 ? 0 : rng_.UniformInt(n);
+}
+
+StatusOr<std::unique_ptr<WritableFile>> FaultFs::OpenForWrite(
+    const std::string& path, WriteMode mode) {
+  if (ShouldFault("open", path, options_.open_error_prob, "open-error")) {
+    return Status::Unavailable("injected open failure on " + path);
+  }
+  std::uint64_t initial_size = 0;
+  if (mode == WriteMode::kAppend) {
+    StatusOr<std::string> existing = base_.ReadFile(path);
+    if (existing.ok()) {
+      initial_size = existing.value().size();
+    } else if (existing.status().code() != StatusCode::kNotFound) {
+      return existing.status();
+    }
+  }
+  StatusOr<std::unique_ptr<WritableFile>> inner =
+      base_.OpenForWrite(path, mode);
+  if (!inner.ok()) return inner.status();
+  return std::unique_ptr<WritableFile>(new FaultWritableFile(
+      *this, path, std::move(inner).value(), initial_size));
+}
+
+StatusOr<std::string> FaultFs::ReadFile(const std::string& path) {
+  enum class ReadOutcome { kClean, kError, kFlip };
+  ReadOutcome outcome = ReadOutcome::kClean;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++op_count_;
+    if (options_.fault_at_op != 0 && op_count_ == options_.fault_at_op) {
+      outcome = ReadOutcome::kFlip;
+    } else if (options_.read_error_prob > 0.0 &&
+               rng_.Bernoulli(options_.read_error_prob)) {
+      outcome = ReadOutcome::kError;
+    } else if (options_.bit_flip_prob > 0.0 &&
+               rng_.Bernoulli(options_.bit_flip_prob)) {
+      outcome = ReadOutcome::kFlip;
+    }
+    const bool fault = outcome != ReadOutcome::kClean;
+    trace_.push_back(IoTraceEntry{
+        "read", path, fault,
+        outcome == ReadOutcome::kError
+            ? "read-error"
+            : (outcome == ReadOutcome::kFlip ? "bit-flip" : "")});
+    if (fault) ++fault_count_;
+  }
+  if (outcome == ReadOutcome::kError) {
+    return Status::Unavailable("injected read failure on " + path);
+  }
+  StatusOr<std::string> bytes = base_.ReadFile(path);
+  if (!bytes.ok()) return bytes;
+  if (outcome == ReadOutcome::kFlip && !bytes.value().empty()) {
+    std::string flipped = std::move(bytes).value();
+    const std::uint64_t pos = RandomBelow(flipped.size());
+    const std::uint64_t bit = RandomBelow(8);
+    flipped[pos] = static_cast<char>(
+        static_cast<unsigned char>(flipped[pos]) ^ (1u << bit));
+    return flipped;
+  }
+  return bytes;
+}
+
+Status FaultFs::Rename(const std::string& from, const std::string& to) {
+  if (ShouldFault("rename", from + " -> " + to, options_.rename_error_prob,
+                  "rename-error")) {
+    return Status::Unavailable("injected rename failure: " + from + " -> " +
+                               to);
+  }
+  return base_.Rename(from, to);
+}
+
+Status FaultFs::Remove(const std::string& path) {
+  RecordOp("remove", path, false, "");
+  return base_.Remove(path);
+}
+
+Status FaultFs::Truncate(const std::string& path, std::uint64_t size) {
+  if (ShouldFault("truncate", path, options_.truncate_error_prob,
+                  "truncate-error")) {
+    return Status::Unavailable("injected truncate failure on " + path);
+  }
+  return base_.Truncate(path, size);
+}
+
+StatusOr<bool> FaultFs::Exists(const std::string& path) {
+  RecordOp("exists", path, false, "");
+  return base_.Exists(path);
+}
+
+Status FaultFs::SyncDirContaining(const std::string& path) {
+  if (ShouldFault("syncdir", path, options_.sync_dir_error_prob,
+                  "syncdir-error")) {
+    return Status::Unavailable("injected directory fsync failure near " +
+                               path);
+  }
+  return base_.SyncDirContaining(path);
+}
+
+std::vector<IoTraceEntry> FaultFs::Trace() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return trace_;
+}
+
+std::uint64_t FaultFs::faults_injected() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return fault_count_;
+}
+
+std::uint64_t FaultFs::ops_observed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return op_count_;
+}
+
+void FaultFs::ClearTrace() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  trace_.clear();
+}
+
+}  // namespace ccdb

@@ -1,11 +1,10 @@
 #include "common/journal.h"
 
-#include <unistd.h>
-
 #include <array>
-#include <cstdio>
 #include <cstring>
 #include <utility>
+
+#include "common/io.h"
 
 namespace ccdb {
 namespace {
@@ -41,23 +40,6 @@ std::uint32_t GetLe32(const char* p) {
          static_cast<std::uint32_t>(static_cast<unsigned char>(p[1])) << 8 |
          static_cast<std::uint32_t>(static_cast<unsigned char>(p[2])) << 16 |
          static_cast<std::uint32_t>(static_cast<unsigned char>(p[3])) << 24;
-}
-
-struct FileCloser {
-  void operator()(std::FILE* file) const {
-    if (file != nullptr) std::fclose(file);
-  }
-};
-using FileHandle = std::unique_ptr<std::FILE, FileCloser>;
-
-Status FsyncFile(std::FILE* file, const std::string& path) {
-  if (std::fflush(file) != 0) {
-    return Status::Internal("fflush failed on " + path);
-  }
-  if (::fsync(::fileno(file)) != 0) {
-    return Status::Internal("fsync failed on " + path);
-  }
-  return Status::Ok();
 }
 
 }  // namespace
@@ -160,8 +142,19 @@ namespace {
 StatusOr<JournalContents> ScanRecords(const std::string& bytes,
                                       const std::string& path) {
   JournalContents contents;
-  if (bytes.size() < sizeof(kMagic) ||
-      std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+  if (bytes.size() < sizeof(kMagic)) {
+    if (std::memcmp(bytes.data(), kMagic, bytes.size()) == 0) {
+      // Torn creation: the process died (or the disk filled) before the
+      // magic header reached the disk. No record — not even the header —
+      // was ever acknowledged, so the file is an empty journal with a
+      // torn tail, not a foreign file.
+      contents.valid_bytes = 0;
+      contents.torn_bytes = bytes.size();
+      return contents;
+    }
+    return Status::InvalidArgument("not a ccdb journal: " + path);
+  }
+  if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
     return Status::InvalidArgument("not a ccdb journal: " + path);
   }
   std::size_t pos = sizeof(kMagic);
@@ -194,45 +187,94 @@ StatusOr<JournalContents> ScanRecords(const std::string& bytes,
 
 }  // namespace
 
-StatusOr<JournalContents> ReadJournal(const std::string& path) {
-  StatusOr<std::string> bytes = ReadFileToString(path);
+StatusOr<JournalContents> ReadJournal(const std::string& path, Fs* fs) {
+  StatusOr<std::string> bytes = ReadFileToString(path, fs);
   if (!bytes.ok()) return bytes.status();
   return ScanRecords(bytes.value(), path);
 }
 
 // --------------------------------------------------------- JournalWriter
 
+namespace {
+
+/// First rung of the recovery ladder: before a torn tail is truncated
+/// away, its bytes are appended to `<path>.quarantine` so nothing is ever
+/// silently destroyed — an operator can inspect what the crash cut off.
+/// Best-effort: recovery must proceed even when the disk is sick enough
+/// that the quarantine write itself fails.
+void QuarantineTornTail(Fs& fs, const std::string& path,
+                        std::string_view cut) {
+  StatusOr<std::unique_ptr<WritableFile>> file =
+      fs.OpenForWrite(path + ".quarantine", WriteMode::kAppend);
+  if (!file.ok()) return;
+  // ccdb-lint: allow(status-nodiscard) — quarantine is best-effort
+  // forensics; a failure here must not block tail truncation.
+  (void)file.value()->Append(cut);
+  // ccdb-lint: allow(status-nodiscard) — same rationale as the append.
+  (void)file.value()->Close();
+}
+
+}  // namespace
+
 StatusOr<JournalWriter> JournalWriter::Open(const std::string& path,
                                             SyncPolicy sync,
-                                            JournalContents* recovered) {
+                                            JournalContents* recovered,
+                                            Fs* fs_opt) {
+  Fs& fs = ResolveFs(fs_opt);
   JournalContents contents;
-  StatusOr<std::string> existing = ReadFileToString(path);
+  StatusOr<std::string> existing = fs.ReadFile(path);
+  // A scan with valid_bytes >= |magic| is a real journal to resume; a
+  // torn creation (valid_bytes == 0: the magic itself never reached the
+  // disk, so nothing was ever acknowledged) is recreated from scratch
+  // below, exactly like a missing file.
   if (existing.ok()) {
     StatusOr<JournalContents> scanned = ScanRecords(existing.value(), path);
     if (!scanned.ok()) return scanned.status();
     contents = std::move(scanned).value();
-    if (contents.torn_bytes > 0 &&
-        ::truncate(path.c_str(),
-                   static_cast<off_t>(contents.valid_bytes)) != 0) {
-      return Status::Internal("cannot truncate torn tail of " + path);
+  }
+  if (existing.ok() && contents.valid_bytes >= sizeof(kMagic)) {
+    if (contents.torn_bytes > 0) {
+      QuarantineTornTail(
+          fs, path,
+          std::string_view(existing.value()).substr(contents.valid_bytes));
+      if (Status status = fs.Truncate(path, contents.valid_bytes);
+          !status.ok()) {
+        return Status::Internal("cannot truncate torn tail of " + path +
+                                ": " + status.message());
+      }
     }
-    std::FILE* file = std::fopen(path.c_str(), "ab");
-    if (file == nullptr) {
-      return Status::Internal("cannot open journal for append: " + path);
+    StatusOr<std::unique_ptr<WritableFile>> file =
+        fs.OpenForWrite(path, WriteMode::kAppend);
+    if (!file.ok()) {
+      return Status::Internal("cannot open journal for append: " + path +
+                              ": " + file.status().message());
     }
     if (recovered != nullptr) *recovered = std::move(contents);
-    return JournalWriter(path, sync, file);
+    return JournalWriter(path, sync, std::move(file).value());
   }
-  if (existing.status().code() != StatusCode::kNotFound) {
+  if (!existing.ok() &&
+      existing.status().code() != StatusCode::kNotFound) {
     return existing.status();
   }
-  std::FILE* file = std::fopen(path.c_str(), "wb");
-  if (file == nullptr) {
-    return Status::Internal("cannot create journal: " + path);
+  StatusOr<std::unique_ptr<WritableFile>> file =
+      fs.OpenForWrite(path, WriteMode::kTruncate);
+  if (!file.ok()) {
+    return Status::Internal("cannot create journal: " + path + ": " +
+                            file.status().message());
   }
-  JournalWriter writer(path, sync, file);
-  if (std::fwrite(kMagic, sizeof(kMagic), 1, file) != 1) {
-    return Status::Internal("short write creating journal: " + path);
+  JournalWriter writer(path, sync, std::move(file).value());
+  if (Status status =
+          writer.file_->Append(std::string_view(kMagic, sizeof(kMagic)));
+      !status.ok()) {
+    return status;
+  }
+  // Make the creation itself durable regardless of sync policy: sync the
+  // magic header, then the parent directory, so a crash right after Open
+  // leaves a valid empty journal rather than no file (or a nameless
+  // inode). One-time cost per journal.
+  if (Status status = writer.file_->Sync(); !status.ok()) return status;
+  if (Status status = fs.SyncDirContaining(path); !status.ok()) {
+    return status;
   }
   if (recovered != nullptr) *recovered = JournalContents{};
   return writer;
@@ -245,19 +287,14 @@ Status JournalWriter::Append(std::string_view payload) {
   if (payload.size() > kMaxRecordBytes) {
     return Status::InvalidArgument("journal record too large");
   }
-  std::string header;
-  PutLe32(header, static_cast<std::uint32_t>(payload.size()));
-  PutLe32(header, Crc32(payload));
-  if (std::fwrite(header.data(), 1, header.size(), file_.get()) !=
-          header.size() ||
-      (!payload.empty() &&
-       std::fwrite(payload.data(), 1, payload.size(), file_.get()) !=
-           payload.size())) {
-    return Status::Internal("short write to journal " + path_);
-  }
+  std::string record;
+  PutLe32(record, static_cast<std::uint32_t>(payload.size()));
+  PutLe32(record, Crc32(payload));
+  record.append(payload.data(), payload.size());
+  if (Status status = file_->Append(record); !status.ok()) return status;
   ++appended_records_;
   if (sync_ == SyncPolicy::kEveryRecord) {
-    return FsyncFile(file_.get(), path_);
+    return file_->Sync();
   }
   return Status::Ok();
 }
@@ -267,58 +304,28 @@ Status JournalWriter::Sync() {
     return Status::FailedPrecondition("journal already closed: " + path_);
   }
   if (sync_ == SyncPolicy::kNone) {
-    if (std::fflush(file_.get()) != 0) {
-      return Status::Internal("fflush failed on " + path_);
-    }
-    return Status::Ok();
+    return file_->Flush();
   }
-  return FsyncFile(file_.get(), path_);
+  return file_->Sync();
 }
 
 Status JournalWriter::Close() {
   if (file_ == nullptr) return Status::Ok();
   Status status = Sync();
+  if (Status closed = file_->Close(); status.ok()) status = closed;
   file_.reset();
   return status;
 }
 
 // ----------------------------------------------------------- file helpers
 
-Status AtomicWriteFile(const std::string& path, std::string_view bytes) {
-  const std::string tmp = path + ".tmp";
-  {
-    FileHandle file(std::fopen(tmp.c_str(), "wb"));
-    if (file == nullptr) {
-      return Status::Internal("cannot open for writing: " + tmp);
-    }
-    if (!bytes.empty() &&
-        std::fwrite(bytes.data(), 1, bytes.size(), file.get()) !=
-            bytes.size()) {
-      return Status::Internal("short write to " + tmp);
-    }
-    if (Status status = FsyncFile(file.get(), tmp); !status.ok()) {
-      return status;
-    }
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    return Status::Internal("rename failed: " + tmp + " -> " + path);
-  }
-  return Status::Ok();
+Status AtomicWriteFile(const std::string& path, std::string_view bytes,
+                       Fs* fs) {
+  return ResolveFs(fs).WriteFileAtomic(path, bytes);
 }
 
-StatusOr<std::string> ReadFileToString(const std::string& path) {
-  FileHandle file(std::fopen(path.c_str(), "rb"));
-  if (file == nullptr) return Status::NotFound("cannot open " + path);
-  std::string bytes;
-  char buffer[1 << 16];
-  std::size_t n = 0;
-  while ((n = std::fread(buffer, 1, sizeof(buffer), file.get())) > 0) {
-    bytes.append(buffer, n);
-  }
-  if (std::ferror(file.get()) != 0) {
-    return Status::Internal("read error on " + path);
-  }
-  return bytes;
+StatusOr<std::string> ReadFileToString(const std::string& path, Fs* fs) {
+  return ResolveFs(fs).ReadFile(path);
 }
 
 }  // namespace ccdb

@@ -2,12 +2,12 @@
 #define CCDB_COMMON_JOURNAL_H_
 
 #include <cstdint>
-#include <cstdio>
 #include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/io.h"
 #include "common/status.h"
 
 namespace ccdb {
@@ -94,24 +94,31 @@ struct JournalContents {
 /// torn tail (the crash interrupted the append): it is dropped and
 /// reported in `torn_bytes`. A checksum failure on any *earlier* record
 /// is real corruption and comes back as an InvalidArgument Status. A
-/// missing file yields NotFound.
-[[nodiscard]] StatusOr<JournalContents> ReadJournal(const std::string& path);
+/// missing file yields NotFound. `fs` follows the ResolveFs convention
+/// (nullptr = the real filesystem).
+[[nodiscard]] StatusOr<JournalContents> ReadJournal(const std::string& path,
+                                                    Fs* fs = nullptr);
 
 /// Append-only record log:  8-byte magic header, then per record
 /// [u32 payload_len][u32 crc32(payload)][payload]. Opening an existing
-/// journal scans it, truncates a torn tail in place, and positions the
-/// writer at the end; records already present are returned so the caller
-/// can rebuild its state before appending.
+/// journal scans it, truncates a torn tail in place (quarantining the cut
+/// bytes to `<path>.quarantine` for forensics), and positions the writer
+/// at the end; records already present are returned so the caller can
+/// rebuild its state before appending.
 class JournalWriter {
  public:
   JournalWriter(JournalWriter&&) = default;
   JournalWriter& operator=(JournalWriter&&) = default;
 
   /// Opens (creating if absent) the journal at `path`. On success
-  /// `recovered` (if non-null) receives the intact records found.
+  /// `recovered` (if non-null) receives the intact records found. A newly
+  /// created journal is synced (file + parent directory) before Open
+  /// returns, so an empty-but-created journal survives a crash. `fs`
+  /// follows the ResolveFs convention.
   [[nodiscard]] static StatusOr<JournalWriter> Open(const std::string& path,
                                       SyncPolicy sync,
-                                      JournalContents* recovered = nullptr);
+                                      JournalContents* recovered = nullptr,
+                                      Fs* fs = nullptr);
 
   /// Appends one record; under kEveryRecord also fsyncs it down.
   [[nodiscard]] Status Append(std::string_view payload);
@@ -128,30 +135,29 @@ class JournalWriter {
   const std::string& path() const { return path_; }
 
  private:
-  struct FileCloser {
-    void operator()(std::FILE* f) const {
-      if (f != nullptr) std::fclose(f);
-    }
-  };
-
-  JournalWriter(std::string path, SyncPolicy sync, std::FILE* file)
-      : path_(std::move(path)), sync_(sync), file_(file) {}
+  JournalWriter(std::string path, SyncPolicy sync,
+                std::unique_ptr<WritableFile> file)
+      : path_(std::move(path)), sync_(sync), file_(std::move(file)) {}
 
   std::string path_;
   SyncPolicy sync_;
-  std::unique_ptr<std::FILE, FileCloser> file_;
+  std::unique_ptr<WritableFile> file_;
   std::uint64_t appended_records_ = 0;
 };
 
 /// Atomically replaces `path` with `bytes`: writes `path + ".tmp"`,
-/// fsyncs, then rename()s over the target — readers see either the old
-/// or the new complete file, never a torn one. Used for manifest and
-/// model-checkpoint snapshots.
+/// fsyncs, rename()s over the target, then fsyncs the parent directory —
+/// readers see either the old or the new complete file, never a torn
+/// one, and the publish survives a crash. On failure the `.tmp` is
+/// removed and the original error returned. Used for manifest and
+/// model-checkpoint snapshots. Thin wrapper over Fs::WriteFileAtomic.
 [[nodiscard]]
-Status AtomicWriteFile(const std::string& path, std::string_view bytes);
+Status AtomicWriteFile(const std::string& path, std::string_view bytes,
+                       Fs* fs = nullptr);
 
 /// Reads a whole file into a string (NotFound when absent).
-[[nodiscard]] StatusOr<std::string> ReadFileToString(const std::string& path);
+[[nodiscard]] StatusOr<std::string> ReadFileToString(const std::string& path,
+                                                     Fs* fs = nullptr);
 
 }  // namespace ccdb
 

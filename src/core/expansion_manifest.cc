@@ -184,8 +184,9 @@ StatusOr<ExpansionCheckpoint> DecodeExpansionCheckpoint(
   return checkpoint;
 }
 
-StatusOr<ExpansionManifest> LoadExpansionManifest(const std::string& path) {
-  StatusOr<JournalContents> contents = ReadJournal(path);
+StatusOr<ExpansionManifest> LoadExpansionManifest(const std::string& path,
+                                                  Fs* fs) {
+  StatusOr<JournalContents> contents = ReadJournal(path, fs);
   if (!contents.ok()) return contents.status();
   return ReplayManifest(contents.value().records);
 }
@@ -212,7 +213,8 @@ StatusOr<std::vector<ExpansionCheckpoint>> RunDurableImpl(
 
   JournalContents recovered;
   StatusOr<JournalWriter> opened =
-      JournalWriter::Open(durable.manifest_path, durable.sync, &recovered);
+      JournalWriter::Open(durable.manifest_path, durable.sync, &recovered,
+                          durable.fs);
   if (!opened.ok()) return opened.status();
   JournalWriter writer = std::move(opened).value();
 

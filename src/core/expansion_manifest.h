@@ -22,6 +22,8 @@ struct DurableExpansionOptions {
   std::string manifest_path;
   /// fsync policy of checkpoint appends (kBatch = one sync per checkpoint).
   SyncPolicy sync = SyncPolicy::kBatch;
+  /// Filesystem backend (ResolveFs convention: nullptr = the real one).
+  Fs* fs = nullptr;
 };
 
 /// Durable state recovered from an expansion manifest journal: the
@@ -53,7 +55,8 @@ std::string EncodeExpansionCheckpoint(const ExpansionCheckpoint& checkpoint);
 /// Reads and replays a manifest journal (NotFound when absent; corrupt
 /// non-tail records are InvalidArgument, a torn tail is dropped).
 [[nodiscard]]
-StatusOr<ExpansionManifest> LoadExpansionManifest(const std::string& path);
+StatusOr<ExpansionManifest> LoadExpansionManifest(const std::string& path,
+                                                  Fs* fs = nullptr);
 
 /// Durable variant of RunIncrementalExpansionChecked: every checkpoint is
 /// appended to the manifest journal (and synced per `options.sync`) before

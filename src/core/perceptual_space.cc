@@ -114,7 +114,7 @@ bool ReadValue(std::string_view bytes, std::size_t& pos, T& value) {
 
 }  // namespace
 
-Status PerceptualSpace::SaveToFile(const std::string& path) const {
+Status PerceptualSpace::SaveToFile(const std::string& path, Fs* fs) const {
   std::string payload;
   const auto coords = item_coords_.Data();
   payload.reserve(4 * sizeof(std::uint64_t) +
@@ -136,12 +136,12 @@ Status PerceptualSpace::SaveToFile(const std::string& path) const {
   file_bytes += payload;
   AppendValue<std::uint32_t>(file_bytes, Crc32(payload));
   AppendValue<std::uint64_t>(file_bytes, payload.size());
-  return AtomicWriteFile(path, file_bytes);
+  return AtomicWriteFile(path, file_bytes, fs);
 }
 
 StatusOr<PerceptualSpace> PerceptualSpace::LoadFromFile(
-    const std::string& path) {
-  StatusOr<std::string> bytes_or = ReadFileToString(path);
+    const std::string& path, Fs* fs) {
+  StatusOr<std::string> bytes_or = ReadFileToString(path, fs);
   if (!bytes_or.ok()) return bytes_or.status();
   const std::string& bytes = bytes_or.value();
   if (bytes.size() < sizeof(kMagic) + kTrailerBytes ||

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/io.h"
 #include "common/matrix.h"
 #include "common/status.h"
 #include "common/sparse.h"
@@ -77,11 +78,14 @@ class PerceptualSpace {
   /// biases). Building a space from millions of ratings is the expensive
   /// step of the pipeline; persisting it lets a deployment build once and
   /// answer many schema expansions (and lets the benches share one build).
-  [[nodiscard]] Status SaveToFile(const std::string& path) const;
+  /// `fs` follows the ResolveFs convention (nullptr = real filesystem).
+  [[nodiscard]] Status SaveToFile(const std::string& path,
+                                  Fs* fs = nullptr) const;
 
   /// Loads a space previously written by SaveToFile.
   [[nodiscard]]
-  static StatusOr<PerceptualSpace> LoadFromFile(const std::string& path);
+  static StatusOr<PerceptualSpace> LoadFromFile(const std::string& path,
+                                                Fs* fs = nullptr);
 
  private:
   Matrix item_coords_;

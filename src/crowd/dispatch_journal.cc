@@ -356,7 +356,7 @@ StatusOr<DispatchResult> DurableDispatcher::Run(
   JournalContents recovered;
   StatusOr<JournalWriter> opened =
       JournalWriter::Open(durability_.journal_path, durability_.sync,
-                          &recovered);
+                          &recovered, durability_.fs);
   if (!opened.ok()) return opened.status();
   JournalWriter writer = std::move(opened).value();
 

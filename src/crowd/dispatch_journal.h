@@ -21,6 +21,9 @@ struct DurabilityOptions {
   /// syncs once per posting — the sweet spot the durability ablation
   /// measures.
   SyncPolicy sync = SyncPolicy::kBatch;
+  /// Filesystem backend (ResolveFs convention: nullptr = the real one).
+  /// The chaos soak injects a FaultFs here.
+  Fs* fs = nullptr;
 };
 
 /// One posting reconstructed from a journal: its judgments (in delivery

@@ -4,7 +4,7 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
+#include <sstream>
 #include <unordered_map>
 
 #include "common/csv.h"
@@ -34,9 +34,10 @@ bool LooksNumeric(const std::string& field) {
 
 }  // namespace
 
-StatusOr<RatingDataset> LoadRatingsCsv(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return Status::NotFound("cannot open " + path);
+StatusOr<RatingDataset> LoadRatingsCsv(const std::string& path, Fs* fs) {
+  StatusOr<std::string> bytes = ResolveFs(fs).ReadFile(path);
+  if (!bytes.ok()) return bytes.status();
+  std::istringstream in(std::move(bytes).value());
 
   std::unordered_map<long long, std::uint32_t> item_ids, user_ids;
   std::vector<Rating> ratings;
@@ -120,17 +121,16 @@ StatusOr<RatingDataset> LoadRatingsCsv(const std::string& path) {
   return RatingDataset(item_ids.size(), user_ids.size(), std::move(ratings));
 }
 
-Status SaveRatingsCsv(const RatingDataset& dataset, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return Status::Internal("cannot open for writing: " + path);
+Status SaveRatingsCsv(const RatingDataset& dataset, const std::string& path,
+                      Fs* fs) {
+  std::ostringstream out;
   CsvWriter csv(out);
   csv.WriteRow({"item_id", "user_id", "score", "day"});
   for (const Rating& rating : dataset.ratings()) {
     csv.WriteRow({std::to_string(rating.item), std::to_string(rating.user),
                   std::to_string(rating.score), std::to_string(rating.day)});
   }
-  if (!out) return Status::Internal("short write to " + path);
-  return Status::Ok();
+  return ResolveFs(fs).WriteFile(path, out.str());
 }
 
 }  // namespace ccdb::data

@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "common/io.h"
 #include "common/sparse.h"
 #include "common/status.h"
 
@@ -17,11 +18,13 @@ namespace ccdb::data {
 /// integers; they are densified to contiguous 0-based ids in first-seen
 /// order. This is the adoption path for real Social-Web dumps: export
 /// your platform's ratings, load, build a perceptual space.
-[[nodiscard]] StatusOr<RatingDataset> LoadRatingsCsv(const std::string& path);
+[[nodiscard]] StatusOr<RatingDataset> LoadRatingsCsv(const std::string& path,
+                                                      Fs* fs = nullptr);
 
 /// Writes a dataset in the same layout (with header, densified ids).
 [[nodiscard]]
-Status SaveRatingsCsv(const RatingDataset& dataset, const std::string& path);
+Status SaveRatingsCsv(const RatingDataset& dataset, const std::string& path,
+                      Fs* fs = nullptr);
 
 }  // namespace ccdb::data
 

@@ -2,7 +2,7 @@
 
 #include <cerrno>
 #include <cstdlib>
-#include <fstream>
+#include <sstream>
 
 #include "common/csv.h"
 
@@ -63,9 +63,10 @@ StatusOr<Value> ParseCell(const std::string& field, ColumnType type) {
 
 }  // namespace
 
-Status SaveTableCsv(const Table& table, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return Status::Internal("cannot open for writing: " + path);
+Status SaveTableCsv(const Table& table, const std::string& path, Fs* fs) {
+  // Serialize in memory, then hand the bytes to the Fs layer in one write:
+  // fault injection and atomic replacement live below this seam.
+  std::ostringstream out;
   CsvWriter csv(out);
 
   std::vector<std::string> header;
@@ -85,14 +86,14 @@ Status SaveTableCsv(const Table& table, const std::string& path) {
     }
     csv.WriteRow(cells);
   }
-  if (!out) return Status::Internal("short write to " + path);
-  return Status::Ok();
+  return ResolveFs(fs).WriteFile(path, out.str());
 }
 
 StatusOr<Table> LoadTableCsv(const std::string& path,
-                             const std::string& table_name) {
-  std::ifstream in(path);
-  if (!in) return Status::NotFound("cannot open " + path);
+                             const std::string& table_name, Fs* fs) {
+  StatusOr<std::string> bytes = ResolveFs(fs).ReadFile(path);
+  if (!bytes.ok()) return bytes.status();
+  std::istringstream in(std::move(bytes).value());
 
   std::string line;
   if (!std::getline(in, line)) {

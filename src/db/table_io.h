@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "common/io.h"
 #include "common/status.h"
 #include "db/table.h"
 
@@ -13,11 +14,13 @@ namespace ccdb::db {
 /// string cells are RFC-4180 quoted when needed. An expanded schema —
 /// including the crowd/space-materialized perceptual columns — survives
 /// the round trip, so an expansion paid for once can be shipped.
-[[nodiscard]] Status SaveTableCsv(const Table& table, const std::string& path);
+[[nodiscard]] Status SaveTableCsv(const Table& table, const std::string& path,
+                                  Fs* fs = nullptr);
 
 /// Loads a table written by SaveTableCsv. `table_name` names the result.
 [[nodiscard]] StatusOr<Table> LoadTableCsv(const std::string& path,
-                             const std::string& table_name);
+                             const std::string& table_name,
+                             Fs* fs = nullptr);
 
 }  // namespace ccdb::db
 

@@ -63,23 +63,52 @@ Status GetDoublesInto(ByteReader& r, std::vector<double>& values,
   return Status::Ok();
 }
 
+/// Generation g of a snapshot: the live file for g = 0, `path.g` beyond.
+std::string GenerationPath(const std::string& path, int gen) {
+  return gen == 0 ? path : path + "." + std::to_string(gen);
+}
+
+/// Renames a corrupt snapshot aside (never deletes it): first free slot
+/// among `path.corrupt`, `path.corrupt.1`, … so repeated corruption events
+/// do not overwrite earlier evidence. Best-effort — the fallback to an
+/// older generation proceeds even if the rename fails.
+void SetAsideCorrupt(Fs& fs, const std::string& path) {
+  for (int slot = 0; slot < 16; ++slot) {
+    const std::string target =
+        path + ".corrupt" + (slot == 0 ? "" : "." + std::to_string(slot));
+    StatusOr<bool> exists = fs.Exists(target);
+    if (exists.ok() && exists.value()) continue;
+    // ccdb-lint: allow(status-nodiscard) — forensic rename is best-effort;
+    // recovery falls back to an older generation either way.
+    (void)fs.Rename(path, target);
+    return;
+  }
+}
+
 /// Snapshot-file envelope: magic, CRC of the payload, payload. Written in
-/// one AtomicWriteFile so readers only ever see a complete snapshot.
-Status WriteSnapshot(const std::string& path, std::string_view payload) {
+/// one WriteFileAtomic so readers only ever see a complete snapshot; the
+/// previous snapshot is rotated to `path.1` (and so on) first, feeding the
+/// generation-fallback ladder.
+Status WriteSnapshot(Fs& fs, const std::string& path, int keep_generations,
+                     std::string_view payload) {
+  for (int gen = keep_generations - 1; gen >= 1; --gen) {
+    StatusOr<bool> exists = fs.Exists(GenerationPath(path, gen - 1));
+    if (!exists.ok() || !exists.value()) continue;
+    // ccdb-lint: allow(status-nodiscard) — rotation is best-effort: losing
+    // an *older* generation never endangers the snapshot being written.
+    (void)fs.Rename(GenerationPath(path, gen - 1), GenerationPath(path, gen));
+  }
   std::string file(kMagic, sizeof(kMagic));
   ByteWriter crc;
   crc.PutU32(Crc32(payload));
   file += crc.bytes();
   file.append(payload.data(), payload.size());
-  return AtomicWriteFile(path, file);
+  return fs.WriteFileAtomic(path, file);
 }
 
-/// Reads a snapshot's payload; NotFound when absent, InvalidArgument on a
-/// bad magic or CRC (bit rot / foreign file).
-StatusOr<std::string> ReadSnapshot(const std::string& path) {
-  StatusOr<std::string> file = ReadFileToString(path);
-  if (!file.ok()) return file.status();
-  const std::string& bytes = file.value();
+/// Checks one file's envelope; InvalidArgument on bad magic or CRC.
+StatusOr<std::string> ParseSnapshotEnvelope(const std::string& bytes,
+                                            const std::string& path) {
   if (bytes.size() < sizeof(kMagic) + 4 ||
       bytes.compare(0, sizeof(kMagic), kMagic, sizeof(kMagic)) != 0) {
     return Status::InvalidArgument("not a ccdb trainer checkpoint: " + path);
@@ -94,6 +123,30 @@ StatusOr<std::string> ReadSnapshot(const std::string& path) {
                                    path);
   }
   return std::string(payload);
+}
+
+/// Reads a snapshot's payload, walking the generation ladder: the newest
+/// generation whose envelope (magic + CRC) validates wins; corrupt
+/// generations are renamed aside (never deleted) and the next older one is
+/// tried. NotFound when no generation holds a valid snapshot. Transient
+/// read errors propagate — they are not corruption, and falling back on
+/// them could silently shadow the newest good state.
+StatusOr<std::string> ReadSnapshot(Fs& fs, const std::string& path,
+                                   int keep_generations) {
+  for (int gen = 0; gen < keep_generations; ++gen) {
+    const std::string gen_path = GenerationPath(path, gen);
+    StatusOr<std::string> file = fs.ReadFile(gen_path);
+    if (!file.ok()) {
+      if (file.status().code() == StatusCode::kNotFound) continue;
+      return file.status();
+    }
+    StatusOr<std::string> payload =
+        ParseSnapshotEnvelope(file.value(), gen_path);
+    if (payload.ok()) return payload;
+    SetAsideCorrupt(fs, gen_path);
+  }
+  return Status::NotFound("no valid trainer checkpoint generation at " +
+                          path);
 }
 
 std::uint64_t SgdFingerprint(const SgdTrainerConfig& config,
@@ -280,15 +333,20 @@ StatusOr<TrainingReport> TrainSgdDurable(
   if (checkpoint.every_epochs <= 0) {
     return Status::InvalidArgument("every_epochs must be > 0");
   }
+  if (checkpoint.keep_generations < 1) {
+    return Status::InvalidArgument("keep_generations must be >= 1");
+  }
   if (config.max_epochs <= 0 || !(config.learning_rate > 0.0) ||
       !(config.lr_decay > 0.0) || config.lr_decay > 1.0) {
     return Status::InvalidArgument("invalid SgdTrainerConfig");
   }
+  Fs& fs = ResolveFs(checkpoint.fs);
   const std::uint64_t fingerprint = SgdFingerprint(config, data, model);
 
   SgdProgress progress;
   progress.learning_rate = config.learning_rate;
-  StatusOr<std::string> snapshot = ReadSnapshot(checkpoint.path);
+  StatusOr<std::string> snapshot =
+      ReadSnapshot(fs, checkpoint.path, checkpoint.keep_generations);
   if (snapshot.ok()) {
     StatusOr<SgdProgress> decoded =
         DecodeSgdSnapshot(snapshot.value(), fingerprint, model);
@@ -342,7 +400,7 @@ StatusOr<TrainingReport> TrainSgdDurable(
                 static_cast<std::uint64_t>(checkpoint.every_epochs) ==
             0) {
       if (Status status = WriteSnapshot(
-              checkpoint.path,
+              fs, checkpoint.path, checkpoint.keep_generations,
               EncodeSgdSnapshot(fingerprint, progress, model));
           !status.ok()) {
         return status;
@@ -363,6 +421,9 @@ StatusOr<AlsReport> TrainAlsDurable(
   if (checkpoint.every_epochs <= 0) {
     return Status::InvalidArgument("every_epochs must be > 0");
   }
+  if (checkpoint.keep_generations < 1) {
+    return Status::InvalidArgument("keep_generations must be >= 1");
+  }
   if (model.config().kind != ModelKind::kSvdDotProduct) {
     return Status::InvalidArgument(
         "ALS supports the SVD dot-product model only");
@@ -370,11 +431,13 @@ StatusOr<AlsReport> TrainAlsDurable(
   if (config.sweeps <= 0) {
     return Status::InvalidArgument("sweeps must be positive");
   }
+  Fs& fs = ResolveFs(checkpoint.fs);
   const std::uint64_t fingerprint = AlsFingerprint(config, data, model);
 
   std::uint64_t sweeps_done = 0;
   std::vector<double> rmse_per_sweep;
-  StatusOr<std::string> snapshot = ReadSnapshot(checkpoint.path);
+  StatusOr<std::string> snapshot =
+      ReadSnapshot(fs, checkpoint.path, checkpoint.keep_generations);
   if (snapshot.ok()) {
     ByteReader r(snapshot.value());
     const std::uint64_t stored = r.GetU64();
@@ -423,7 +486,9 @@ StatusOr<AlsReport> TrainAlsDurable(
       w.PutU64(sweeps_done);
       PutDoubles(w, rmse_per_sweep);
       w.PutBytes(EncodeFactorModel(model));
-      if (Status status = WriteSnapshot(checkpoint.path, w.bytes());
+      if (Status status = WriteSnapshot(fs, checkpoint.path,
+                                        checkpoint.keep_generations,
+                                        w.bytes());
           !status.ok()) {
         return status;
       }

@@ -4,6 +4,7 @@
 #include <string>
 #include <string_view>
 
+#include "common/io.h"
 #include "common/status.h"
 #include "factorization/als_trainer.h"
 #include "factorization/factor_model.h"
@@ -13,14 +14,23 @@ namespace ccdb::factorization {
 
 /// Epoch-level trainer durability: where (and how often) the durable
 /// trainers snapshot their state. Snapshots are single files replaced via
-/// write-to-temp + fsync + rename, so a crash mid-write leaves the
-/// previous snapshot intact; a CRC over the payload rejects bit rot.
+/// write-to-temp + fsync + rename + parent-directory fsync, so a crash
+/// mid-write leaves the previous snapshot intact; a CRC over the payload
+/// rejects bit rot. Older snapshot generations are kept at `path.1`,
+/// `path.2`, … — when the newest snapshot fails its envelope check
+/// (magic/CRC) it is renamed aside to `path.corrupt*` (never deleted) and
+/// loading falls back to the newest older valid generation.
 struct TrainerCheckpointOptions {
   /// Snapshot file path. Must be non-empty for the durable trainers.
   std::string path;
   /// Snapshot cadence in epochs (SGD) or sweeps (ALS). The final state is
   /// always snapshotted regardless of cadence.
   int every_epochs = 1;
+  /// Total snapshot generations kept on disk (current + keep-1 older).
+  /// Must be >= 1; 1 disables the fallback ladder.
+  int keep_generations = 2;
+  /// Filesystem backend (ResolveFs convention: nullptr = the real one).
+  Fs* fs = nullptr;
 };
 
 /// Serializes a model's full trainable state (factors, biases, temporal

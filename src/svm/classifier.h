@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/io.h"
 #include "common/matrix.h"
 #include "common/status.h"
 #include "svm/kernel.h"
@@ -67,10 +68,12 @@ class SvmModel {
   /// Serializes the trained model (kernel config, rho, support vectors,
   /// coefficients) to a binary file — a trained extractor can be shipped
   /// and applied without retraining.
-  [[nodiscard]] Status SaveToFile(const std::string& path) const;
+  [[nodiscard]] Status SaveToFile(const std::string& path,
+                                  Fs* fs = nullptr) const;
 
   /// Loads a model written by SaveToFile.
-  [[nodiscard]] static StatusOr<SvmModel> LoadFromFile(const std::string& path);
+  [[nodiscard]] static StatusOr<SvmModel> LoadFromFile(
+      const std::string& path, Fs* fs = nullptr);
 
  private:
   Matrix support_vectors_;

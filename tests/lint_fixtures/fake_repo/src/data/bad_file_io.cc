@@ -1,0 +1,14 @@
+// Fixture: raw file I/O bypassing the common/io Fs seam. The #include
+// lines and the fopen mention in this comment stay silent; each use
+// below fires, except the allow()-suppressed one.
+#include <cstdio>
+#include <fstream>
+
+void RawFileIoFixture(const char* path) {
+  std::FILE* file = std::fopen(path, "rb");
+  if (file != nullptr) std::fclose(file);
+  std::ifstream input(path);
+  std::ofstream output(path);
+  // ccdb-lint: allow(raw-file-io) — fixture: suppression must work.
+  std::fstream both(path);
+}

@@ -73,6 +73,12 @@ TEST_F(LintFixtureTest, NoThrowFixture) {
             (std::vector<std::string>{"6:no-throw"}));
 }
 
+TEST_F(LintFixtureTest, RawFileIoFixture) {
+  EXPECT_EQ(KeysFor(*findings_, "src/data/bad_file_io.cc"),
+            (std::vector<std::string>{"8:raw-file-io", "10:raw-file-io",
+                                      "11:raw-file-io"}));
+}
+
 TEST_F(LintFixtureTest, HeaderHygieneFixture) {
   EXPECT_EQ(KeysFor(*findings_, "src/eval/bad_header.h"),
             (std::vector<std::string>{"2:include-guard",
@@ -110,7 +116,7 @@ TEST_F(LintFixtureTest, AllowSuppressionFixtureProducesNoFindings) {
 TEST_F(LintFixtureTest, FixtureTreeFindingsAreExactlyTheExpectedSet) {
   // Guards against a rule silently firing on a fixture it should not
   // touch: the per-file expectations above must cover every finding.
-  std::size_t expected = 3 + 4 + 2 + 1 + 2 + 3 + 2 + 2;
+  std::size_t expected = 3 + 4 + 2 + 1 + 2 + 3 + 2 + 2 + 3;
   EXPECT_EQ(findings_->size(), expected);
 }
 
@@ -275,10 +281,11 @@ TEST(BaselineTest, MissingBaselineReportsNotOk) {
 TEST(LintApiTest, AllRulesListsEveryRuleOnce) {
   const std::vector<std::string> rules = AllRules();
   const std::set<std::string> unique(rules.begin(), rules.end());
-  EXPECT_EQ(rules.size(), 7u);
+  EXPECT_EQ(rules.size(), 8u);
   EXPECT_EQ(unique.size(), rules.size());
   EXPECT_TRUE(unique.count(kRuleStatusNodiscard) > 0);
   EXPECT_TRUE(unique.count(kRuleBlockingWait) > 0);
+  EXPECT_TRUE(unique.count(kRuleRawFileIo) > 0);
 }
 
 TEST(LintApiTest, FormatFindingIsStable) {

@@ -100,6 +100,8 @@ int main(int argc, char** argv) {
   findings.insert(findings.end(), tree.begin(), tree.end());
 
   if (!write_baseline_path.empty()) {
+    // ccdb-lint: allow(raw-file-io) — the checker's own baseline output,
+    // not durable library state.
     std::ofstream out(write_baseline_path);
     if (!out) {
       std::fprintf(stderr, "ccdb_lint: cannot write baseline %s\n",

@@ -472,6 +472,36 @@ void CheckUsingNamespaceHeader(const RuleContext& ctx) {
   }
 }
 
+// --- rule: raw-file-io ------------------------------------------------------
+
+void CheckRawFileIo(const RuleContext& ctx) {
+  // Every durable byte must flow through the common/io Fs seam so fault
+  // injection and the recovery ladder actually cover it. Only the Fs
+  // implementation itself and tests (which set up fixtures directly) may
+  // touch stdio / fstream.
+  if (InDir(ctx.rel_path, "src/common/io.")) return;
+  if (InDir(ctx.rel_path, "tests/")) return;
+  const std::string_view kBanned[] = {"fopen", "freopen", "ofstream",
+                                      "ifstream", "fstream"};
+  for (std::size_t i = 0; i < ctx.code_lines.size(); ++i) {
+    const std::string& line = ctx.code_lines[i];
+    // Skip preprocessor lines so `#include <fstream>` left behind by a
+    // refactor is not itself a finding (the uses are).
+    const std::size_t first = line.find_first_not_of(" \t");
+    if (first != std::string::npos && line[first] == '#') continue;
+    for (std::string_view ident : kBanned) {
+      if (HasIdent(line, ident)) {
+        ctx.Add(static_cast<int>(i + 1), kRuleRawFileIo,
+                std::string("file I/O must flow through the common/io Fs "
+                            "layer (fault injection + recovery ladder), "
+                            "not ") +
+                    std::string(ident));
+        break;  // one diagnostic per line
+      }
+    }
+  }
+}
+
 // --- rule: status-nodiscard ---------------------------------------------------
 
 void CheckStatusNodiscard(const RuleContext& ctx) {
@@ -563,7 +593,7 @@ std::vector<std::string> AllRules() {
   return {kRuleStatusNodiscard, kRuleRngSource,
           kRuleRawThread,       kRuleBlockingWait,
           kRuleNoThrow,         kRuleIncludeGuard,
-          kRuleUsingNamespaceHeader};
+          kRuleUsingNamespaceHeader, kRuleRawFileIo};
 }
 
 std::vector<Finding> LintContents(const std::string& rel_path,
@@ -581,6 +611,7 @@ std::vector<Finding> LintContents(const std::string& rel_path,
   CheckNoThrow(ctx);
   CheckIncludeGuard(ctx);
   CheckUsingNamespaceHeader(ctx);
+  CheckRawFileIo(ctx);
 
   // An allow() on a line with code suppresses that line; an allow() on a
   // comment-only line suppresses the next line carrying code, so wrapped
@@ -619,6 +650,8 @@ bool LintFile(const std::string& root, const std::string& rel_path,
               std::vector<Finding>& findings) {
   const std::filesystem::path full =
       std::filesystem::path(root) / rel_path;
+  // ccdb-lint: allow(raw-file-io) — the checker reads source trees outside
+  // the library's durable-state paths; routing it through Fs buys nothing.
   std::ifstream in(full, std::ios::binary);
   if (!in) {
     findings.push_back(
@@ -671,6 +704,8 @@ std::vector<Finding> LintTree(const std::string& root,
 
 std::set<std::string> LoadBaseline(const std::string& path, bool& ok) {
   std::set<std::string> baseline;
+  // ccdb-lint: allow(raw-file-io) — baseline file of the checker itself,
+  // not durable library state.
   std::ifstream in(path);
   if (!in) {
     ok = false;
