@@ -1,0 +1,63 @@
+#include "core/circuit_breaker.h"
+
+#include "common/check.h"
+
+namespace ccdb::core {
+
+CircuitBreaker::CircuitBreaker(CircuitBreakerOptions options)
+    : options_(options) {
+  CCDB_CHECK_GE(options_.failure_threshold, std::size_t{1});
+  CCDB_CHECK_GE(options_.cooldown_seconds, 0.0);
+}
+
+CircuitBreaker::Admission CircuitBreaker::TryAdmit() {
+  if (state_ == BreakerState::kOpen) {
+    if (!reopen_.Expired()) return Admission::kReject;
+    state_ = BreakerState::kHalfOpen;
+    probe_inflight_ = false;
+  }
+  if (state_ == BreakerState::kHalfOpen) {
+    if (probe_inflight_) return Admission::kReject;
+    return Admission::kProbe;
+  }
+  return Admission::kAdmit;
+}
+
+void CircuitBreaker::OnProbeAdmitted() {
+  probe_inflight_ = true;
+  ++probes_;
+}
+
+void CircuitBreaker::Record(Outcome outcome, bool was_probe) {
+  switch (outcome) {
+    case Outcome::kSuccess:
+      consecutive_failures_ = 0;
+      if (was_probe) {
+        probe_inflight_ = false;
+        state_ = BreakerState::kClosed;
+        ++recoveries_;
+      }
+      break;
+    case Outcome::kFailure:
+      ++consecutive_failures_;
+      if (was_probe) {
+        probe_inflight_ = false;
+        state_ = BreakerState::kOpen;
+        reopen_ = Deadline::AfterSeconds(options_.cooldown_seconds);
+        ++trips_;
+      } else if (state_ == BreakerState::kClosed &&
+                 consecutive_failures_ >= options_.failure_threshold) {
+        state_ = BreakerState::kOpen;
+        reopen_ = Deadline::AfterSeconds(options_.cooldown_seconds);
+        ++trips_;
+      }
+      break;
+    case Outcome::kNeutral:
+      if (was_probe) probe_inflight_ = false;
+      break;
+  }
+}
+
+BreakerState CircuitBreaker::state() const { return state_; }
+
+}  // namespace ccdb::core

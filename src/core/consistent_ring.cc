@@ -1,0 +1,54 @@
+#include "core/consistent_ring.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace ccdb::core {
+
+namespace {
+
+/// splitmix64 finalizer: a cheap, well-mixed 64-bit permutation.
+std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+ConsistentRing::ConsistentRing(std::uint32_t num_shards,
+                               std::uint32_t vnodes_per_shard)
+    : num_shards_(num_shards) {
+  CCDB_CHECK_GE(num_shards, 1u);
+  CCDB_CHECK_GE(vnodes_per_shard, 1u);
+  points_.reserve(static_cast<std::size_t>(num_shards) * vnodes_per_shard);
+  for (std::uint32_t shard = 0; shard < num_shards; ++shard) {
+    for (std::uint32_t vnode = 0; vnode < vnodes_per_shard; ++vnode) {
+      const std::uint64_t id =
+          (static_cast<std::uint64_t>(shard) << 32) | vnode;
+      points_.push_back(Point{Mix64(id), shard});
+    }
+  }
+  std::sort(points_.begin(), points_.end(), [](const Point& a, const Point& b) {
+    // Shard index breaks hash ties so the ring order is total and every
+    // builder agrees on it.
+    return a.hash != b.hash ? a.hash < b.hash : a.shard < b.shard;
+  });
+}
+
+std::uint32_t ConsistentRing::Owner(std::uint64_t key) const {
+  const std::uint64_t hash = Mix64(key);
+  auto it = std::upper_bound(
+      points_.begin(), points_.end(), hash,
+      [](std::uint64_t value, const Point& point) { return value < point.hash; });
+  if (it == points_.end()) it = points_.begin();  // clockwise wrap
+  return it->shard;
+}
+
+std::uint32_t ConsistentRing::OwnerOfItem(std::uint32_t item) const {
+  return Owner(0xC0FFEE0000000000ull | item);
+}
+
+}  // namespace ccdb::core

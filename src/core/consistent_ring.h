@@ -1,0 +1,43 @@
+#ifndef CCDB_CORE_CONSISTENT_RING_H_
+#define CCDB_CORE_CONSISTENT_RING_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace ccdb::core {
+
+/// Consistent-hash ring mapping 64-bit keys (item ids, job fingerprints)
+/// onto shard indices [0, num_shards). Each shard contributes
+/// `vnodes_per_shard` pseudo-random points; a key is owned by the first
+/// point clockwise from its hash. Fully deterministic in (num_shards,
+/// vnodes_per_shard), so the router and every shard server build the
+/// identical ring independently — ownership is a shared pure function, not
+/// replicated state. Adding or removing one shard moves only ~1/N of the
+/// keys, which is why the ring (and not `key % N`) is the routing
+/// foundation the ROADMAP's elastic re-sharding will build on.
+class ConsistentRing {
+ public:
+  ConsistentRing(std::uint32_t num_shards, std::uint32_t vnodes_per_shard = 16);
+
+  /// Shard owning an arbitrary 64-bit key (e.g. a job fingerprint).
+  std::uint32_t Owner(std::uint64_t key) const;
+
+  /// Shard owning a space item. Items are mixed before lookup so dense
+  /// sequential ids spread over the ring instead of clustering.
+  std::uint32_t OwnerOfItem(std::uint32_t item) const;
+
+  std::uint32_t num_shards() const { return num_shards_; }
+
+ private:
+  struct Point {
+    std::uint64_t hash;
+    std::uint32_t shard;
+  };
+
+  std::uint32_t num_shards_;
+  std::vector<Point> points_;  // sorted by hash
+};
+
+}  // namespace ccdb::core
+
+#endif  // CCDB_CORE_CONSISTENT_RING_H_

@@ -30,73 +30,8 @@ struct ExpansionService::Ticket::Flight {
   std::condition_variable cv;
 };
 
-std::uint64_t ExpansionJobFingerprint(const ExpansionJob& job) {
-  ByteWriter w;
-  w.PutBytes(job.table);
-  w.PutBytes(job.request.attribute_name);
-  w.PutU64(job.request.gold_sample_items.size());
-  for (std::uint32_t item : job.request.gold_sample_items) w.PutU32(item);
-  w.PutU64(job.sample_truth.size());
-  for (bool truth : job.sample_truth) w.PutBool(truth);
-
-  const auto put_extractor = [&w](const ExtractorOptions& e) {
-    w.PutU8(static_cast<std::uint8_t>(e.kernel.type));
-    w.PutF64(e.kernel.gamma);
-    w.PutU64(static_cast<std::uint64_t>(e.kernel.degree));
-    w.PutF64(e.kernel.coef0);
-    w.PutF64(e.gamma_scale);
-    w.PutF64(e.cost);
-    w.PutBool(e.balance_class_costs);
-    w.PutF64(e.epsilon);
-    w.PutF64(e.smo.tolerance);
-    w.PutU64(e.smo.max_iterations);
-  };
-  put_extractor(job.request.extractor);
-
-  const crowd::HitRunConfig& h = job.hit_config;
-  w.PutU64(h.judgments_per_item);
-  w.PutU64(h.items_per_hit);
-  w.PutF64(h.payment_per_hit);
-  w.PutBool(h.allow_dont_know);
-  w.PutBool(h.lookup_mode);
-  w.PutF64(h.lookup_consensus_flip_rate);
-  w.PutF64(h.lookup_contested_rate);
-  w.PutF64(h.perception_flip_rate);
-  w.PutU64(h.num_gold_questions);
-  w.PutF64(h.gold_exclusion_threshold);
-  w.PutU64(h.gold_min_probes);
-  w.PutU64(h.seed);
-  const crowd::FaultModel& f = h.fault;
-  w.PutF64(f.abandonment_prob);
-  w.PutF64(f.abandon_time_fraction);
-  w.PutF64(f.straggler_fraction);
-  w.PutF64(f.straggler_pareto_alpha);
-  w.PutF64(f.churn_prob);
-  w.PutF64(f.churn_window_minutes);
-  w.PutF64(f.duplicate_prob);
-  w.PutF64(f.duplicate_delay_minutes);
-  w.PutF64(f.late_prob);
-  w.PutF64(f.late_mean_delay_minutes);
-  w.PutF64(f.spam_burst_prob);
-  w.PutF64(f.spam_burst_window_minutes);
-  w.PutF64(f.spam_burst_duration_minutes);
-  w.PutF64(f.spam_burst_intensity);
-  w.PutF64(f.spam_burst_positive_bias);
-  w.PutU64(f.seed);
-
-  const crowd::DispatcherConfig& d = job.expansion.dispatcher;
-  w.PutF64(d.deadline_minutes);
-  w.PutU64(d.max_reposts);
-  w.PutF64(d.backoff_initial_minutes);
-  w.PutF64(d.backoff_factor);
-  w.PutU64(d.repost_overprovision);
-  w.PutF64(d.max_dollars);
-  w.PutF64(d.max_minutes);
-  w.PutBool(d.gold_in_reposts);
-  w.PutU64(job.expansion.topup_judgments_per_item);
-  w.PutU64(job.expansion.max_topups);
-  return HashBytes(w.bytes());
-}
+// ExpansionJobFingerprint lives in expansion_wire.cc, next to the expand
+// request codec that shares its field order.
 
 // --- Ticket ---------------------------------------------------------------
 
@@ -179,13 +114,13 @@ ExpansionService::ExpansionService(const PerceptualSpace& space,
     : space_(space),
       pool_(std::move(pool)),
       options_(options),
+      breaker_(CircuitBreakerOptions{options.breaker_failure_threshold,
+                                     options.breaker_cooldown_seconds}),
       workers_(options.workers) {
   CCDB_CHECK_GE(options_.workers, std::size_t{1});
   CCDB_CHECK_GE(options_.queue_depth, std::size_t{1});
   CCDB_CHECK(options_.crowd_deadline_fraction > 0.0 &&
              options_.crowd_deadline_fraction <= 1.0);
-  CCDB_CHECK_GE(options_.breaker_failure_threshold, std::size_t{1});
-  CCDB_CHECK_GE(options_.breaker_cooldown_seconds, 0.0);
 }
 
 ExpansionService::~ExpansionService() {
@@ -226,21 +161,18 @@ StatusOr<ExpansionService::Ticket> ExpansionService::ExpandAttribute(
   // Circuit breaker: a platform that keeps failing is left alone for a
   // cooldown, then probed with a single request.
   bool is_probe = false;
-  if (breaker_ == BreakerState::kOpen) {
-    if (!breaker_reopen_.Expired()) {
-      ++stats_.breaker_rejected;
-      return Status::Unavailable("expansion circuit breaker is open");
-    }
-    breaker_ = BreakerState::kHalfOpen;
-    probe_inflight_ = false;
-  }
-  if (breaker_ == BreakerState::kHalfOpen) {
-    if (probe_inflight_) {
+  switch (breaker_.TryAdmit()) {
+    case CircuitBreaker::Admission::kReject:
       ++stats_.breaker_rejected;
       return Status::Unavailable(
-          "expansion circuit breaker is half-open (probe in flight)");
-    }
-    is_probe = true;
+          breaker_.state() == BreakerState::kOpen
+              ? "expansion circuit breaker is open"
+              : "expansion circuit breaker is half-open (probe in flight)");
+    case CircuitBreaker::Admission::kProbe:
+      is_probe = true;
+      break;
+    case CircuitBreaker::Admission::kAdmit:
+      break;
   }
 
   auto flight = std::make_shared<Flight>();
@@ -259,10 +191,9 @@ StatusOr<ExpansionService::Ticket> ExpansionService::ExpandAttribute(
   }
   ++stats_.admitted;
   ++active_flights_;
-  if (is_probe) {
-    probe_inflight_ = true;
-    ++stats_.breaker_probes;
-  }
+  // The probe slot is claimed only now, after the enqueue succeeded — a
+  // shed probe must not block the half-open breaker forever.
+  if (is_probe) breaker_.OnProbeAdmitted();
   inflight_.emplace(key, flight);
   return Ticket(this, std::move(flight), waiter_stop);
 }
@@ -328,33 +259,11 @@ void ExpansionService::UpdateBreakerLocked(const Flight& flight,
       status.code() == StatusCode::kOutOfRange ||
       status.code() == StatusCode::kFailedPrecondition ||
       status.code() == StatusCode::kInternal;
-  if (status.ok()) {
-    consecutive_failures_ = 0;
-    if (flight.is_probe) {
-      probe_inflight_ = false;
-      breaker_ = BreakerState::kClosed;
-      ++stats_.breaker_recoveries;
-    }
-  } else if (relevant_failure) {
-    ++consecutive_failures_;
-    if (flight.is_probe) {
-      probe_inflight_ = false;
-      breaker_ = BreakerState::kOpen;
-      breaker_reopen_ =
-          Deadline::AfterSeconds(options_.breaker_cooldown_seconds);
-      ++stats_.breaker_trips;
-    } else if (breaker_ == BreakerState::kClosed &&
-               consecutive_failures_ >= options_.breaker_failure_threshold) {
-      breaker_ = BreakerState::kOpen;
-      breaker_reopen_ =
-          Deadline::AfterSeconds(options_.breaker_cooldown_seconds);
-      ++stats_.breaker_trips;
-    }
-  } else if (flight.is_probe) {
-    // Neutral probe outcome: stay half-open and let the next request
-    // probe again.
-    probe_inflight_ = false;
-  }
+  const CircuitBreaker::Outcome outcome =
+      status.ok() ? CircuitBreaker::Outcome::kSuccess
+      : relevant_failure ? CircuitBreaker::Outcome::kFailure
+                         : CircuitBreaker::Outcome::kNeutral;
+  breaker_.Record(outcome, flight.is_probe);
 }
 
 void ExpansionService::Drain() {
@@ -367,12 +276,16 @@ void ExpansionService::Drain() {
 
 ServiceStats ExpansionService::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  ServiceStats stats = stats_;
+  stats.breaker_trips = breaker_.trips();
+  stats.breaker_probes = breaker_.probes();
+  stats.breaker_recoveries = breaker_.recoveries();
+  return stats;
 }
 
 BreakerState ExpansionService::breaker_state() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return breaker_;
+  return breaker_.state();
 }
 
 }  // namespace ccdb::core

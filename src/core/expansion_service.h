@@ -15,6 +15,7 @@
 #include "common/deadline.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "core/circuit_breaker.h"
 #include "core/expansion.h"
 #include "core/perceptual_space.h"
 #include "crowd/platform.h"
@@ -93,9 +94,6 @@ struct ServiceStats {
   /// Crowd dollars spent across all executed pipelines.
   double crowd_dollars_spent = 0.0;
 };
-
-/// Circuit-breaker state (exposed for benches/tests).
-enum class BreakerState : std::uint8_t { kClosed, kOpen, kHalfOpen };
 
 /// Concurrent, overload-safe front end over ExpandSchemaResilient.
 ///
@@ -189,10 +187,7 @@ class ExpansionService {
   /// Single-flight table: job fingerprint -> live flight.
   std::unordered_map<std::uint64_t, std::shared_ptr<Flight>> inflight_;
   ServiceStats stats_;
-  BreakerState breaker_ = BreakerState::kClosed;
-  std::size_t consecutive_failures_ = 0;
-  Deadline breaker_reopen_;  // open breaker rejects until this expires
-  bool probe_inflight_ = false;
+  CircuitBreaker breaker_;
   std::size_t active_flights_ = 0;
   bool shutting_down_ = false;
 

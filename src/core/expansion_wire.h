@@ -1,0 +1,96 @@
+#ifndef CCDB_CORE_EXPANSION_WIRE_H_
+#define CCDB_CORE_EXPANSION_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/journal.h"
+#include "common/status.h"
+#include "core/expansion_service.h"
+
+namespace ccdb::core {
+
+/// Byte codecs for the requests/responses that cross the Transport seam
+/// between the sharded router and the expansion shard servers, built on
+/// the little-endian ByteWriter/ByteReader journal codec so doubles round
+/// trip bit-exactly (degraded answers must be bit-identical to the
+/// reachable shards' fault-free answers, so the wire may not perturb a
+/// single mantissa bit).
+///
+/// Encode* never fails; Decode* returns InvalidArgument on a malformed or
+/// truncated payload (a corrupted message must surface as an error the
+/// retry policy can see, never as garbage data).
+
+/// Batched prediction of `items` from a gold sample (the scatter half of
+/// ShardedExpansionService::Predict). The extractor is retrained on the
+/// receiving shard — models do not travel, training inputs do.
+struct PredictRequest {
+  std::vector<std::uint32_t> gold_items;
+  std::vector<bool> gold_labels;
+  ExtractorOptions extractor;
+  std::vector<std::uint32_t> items;
+};
+
+struct PredictResponse {
+  /// values[i] answers items[i] of the request.
+  std::vector<bool> values;
+};
+
+/// k nearest neighbours of `item` among the items the receiving shard
+/// owns; the router merges the per-shard top-k lists.
+struct KnnRequest {
+  std::uint32_t item = 0;
+  std::uint32_t k = 0;
+};
+
+struct KnnNeighbor {
+  std::uint32_t index = 0;
+  double distance = 0.0;
+};
+
+struct KnnResponse {
+  std::vector<KnnNeighbor> neighbors;
+};
+
+/// A full expansion job routed to the shard owning its fingerprint. The
+/// caller-side cancellation token and the service's StopCondition knobs
+/// deliberately do not travel — patience is a caller-side property; the
+/// receiving shard derives its own deadline from `deadline_seconds`.
+struct ExpandResponse {
+  SchemaExpansionResult result;
+};
+
+std::string EncodePredictRequest(const PredictRequest& request);
+[[nodiscard]] StatusOr<PredictRequest> DecodePredictRequest(
+    const std::string& payload);
+
+std::string EncodePredictResponse(const PredictResponse& response);
+[[nodiscard]] StatusOr<PredictResponse> DecodePredictResponse(
+    const std::string& payload);
+
+std::string EncodeKnnRequest(const KnnRequest& request);
+[[nodiscard]] StatusOr<KnnRequest> DecodeKnnRequest(
+    const std::string& payload);
+
+std::string EncodeKnnResponse(const KnnResponse& response);
+[[nodiscard]] StatusOr<KnnResponse> DecodeKnnResponse(
+    const std::string& payload);
+
+std::string EncodeExpandRequest(const ExpansionJob& job);
+[[nodiscard]] StatusOr<ExpansionJob> DecodeExpandRequest(
+    const std::string& payload);
+
+std::string EncodeExpandResponse(const ExpandResponse& response);
+[[nodiscard]] StatusOr<ExpandResponse> DecodeExpandResponse(
+    const std::string& payload);
+
+/// Appends the dedup-identity fields of `job` (everything except the
+/// caller-side deadline and cancellation token) to `w`. Shared by
+/// ExpansionJobFingerprint and the expand-request codec, so the wire
+/// format and the idempotency key can never drift apart.
+void AppendExpansionJobBody(ByteWriter& w, const ExpansionJob& job);
+
+}  // namespace ccdb::core
+
+#endif  // CCDB_CORE_EXPANSION_WIRE_H_

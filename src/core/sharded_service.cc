@@ -1,0 +1,561 @@
+#include "core/sharded_service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <utility>
+
+#include "common/check.h"
+#include "common/journal.h"
+
+namespace ccdb::core {
+
+namespace {
+
+constexpr std::size_t kLatencyWindow = 64;
+
+bool RetryableCode(StatusCode code) {
+  return code == StatusCode::kUnavailable ||
+         code == StatusCode::kDeadlineExceeded ||
+         code == StatusCode::kResourceExhausted;
+}
+
+}  // namespace
+
+/// Shared result slot of one logical shard call: the primary attempt and
+/// an optional hedge race to fill it; the first Ok response wins and the
+/// loser is counted as a duplicate.
+struct ShardedExpansionService::CallState {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t outstanding = 0;
+  bool has_ok = false;
+  bool ok_from_hedge = false;
+  std::string ok_payload;
+  Status last_error = Status::Unavailable("no attempt ran");
+};
+
+ShardedExpansionService::ShardedExpansionService(
+    net::Transport& transport, ShardedExpansionOptions options)
+    : transport_(transport),
+      options_(std::move(options)),
+      ring_(static_cast<std::uint32_t>(options_.shard_nodes.size()),
+            options_.vnodes_per_shard),
+      retry_rng_(options_.seed ^ 0x5A4DEDull),
+      call_pool_(options_.call_workers),
+      fanout_pool_(options_.fanout_workers) {
+  CCDB_CHECK_GE(options_.shard_nodes.size(), std::size_t{1});
+  CCDB_CHECK_GE(options_.max_attempts, std::size_t{1});
+  CCDB_CHECK(options_.retry_jitter_fraction >= 0.0 &&
+             options_.retry_jitter_fraction < 1.0);
+  CCDB_CHECK(options_.min_coverage >= 0.0 && options_.min_coverage <= 1.0);
+  health_.reserve(options_.shard_nodes.size());
+  for (std::size_t s = 0; s < options_.shard_nodes.size(); ++s) {
+    health_.emplace_back(options_.health);
+  }
+  latency_samples_.reserve(kLatencyWindow);
+}
+
+ShardedExpansionService::~ShardedExpansionService() = default;
+
+ShardedServiceStats ShardedExpansionService::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+BreakerState ShardedExpansionService::shard_health(std::uint32_t shard) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return health_[shard].state();
+}
+
+double ShardedExpansionService::HedgeDelayMs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (latency_samples_.empty()) return options_.hedge_max_delay_ms;
+  std::vector<double> sorted = latency_samples_;
+  std::sort(sorted.begin(), sorted.end());
+  const double q = std::clamp(options_.hedge_quantile, 0.0, 1.0);
+  const std::size_t index = std::min(
+      sorted.size() - 1,
+      static_cast<std::size_t>(q * static_cast<double>(sorted.size() - 1) +
+                               0.5));
+  return std::clamp(sorted[index], options_.hedge_min_delay_ms,
+                    options_.hedge_max_delay_ms);
+}
+
+void ShardedExpansionService::RecordLatencyMs(double ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (latency_samples_.size() < kLatencyWindow) {
+    latency_samples_.push_back(ms);
+  } else {
+    latency_samples_[latency_next_] = ms;
+    latency_next_ = (latency_next_ + 1) % kLatencyWindow;
+  }
+}
+
+bool ShardedExpansionService::AdmitRequest(double deadline_seconds,
+                                           const StopCondition& stop,
+                                           StopCondition* overall,
+                                           Status* shed_status) {
+  const double budget = deadline_seconds > 0.0
+                            ? deadline_seconds
+                            : options_.default_deadline_seconds;
+  *overall = stop.WithDeadline(Deadline::AfterSeconds(budget));
+  if (overall->token().cancelled()) {
+    *shed_status = overall->ToStatus("sharded request");
+    return false;
+  }
+  // The deadline clamp: measure what is *actually* left of the caller's
+  // budget (their StopCondition may carry a deadline minted long before
+  // this call) instead of trusting the nominal per-request budget. A
+  // request with (almost) nothing left sheds here, with zero transport
+  // traffic, rather than enqueueing work on every shard and cancelling
+  // it moments later.
+  if (overall->deadline().RemainingSeconds() < options_.min_fanout_seconds) {
+    *shed_status = Status::DeadlineExceeded(
+        "request budget exhausted before fan-out");
+    return false;
+  }
+  return true;
+}
+
+void ShardedExpansionService::LaunchAttempt(
+    std::uint32_t shard, const std::string& method, std::uint64_t request_id,
+    const std::string& payload, const StopCondition& attempt_stop,
+    const std::shared_ptr<CallState>& state, bool is_hedge) {
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    ++state->outstanding;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.attempts;
+    if (is_hedge) ++stats_.hedges_fired;
+  }
+  call_pool_.Submit([this, shard, method, request_id, payload, attempt_stop,
+                     state, is_hedge] {
+    net::Message message;
+    message.from = net::kClientNode;
+    message.to = options_.shard_nodes[shard];
+    message.method = method;
+    message.request_id = request_id;
+    message.payload = payload;
+    const auto start = std::chrono::steady_clock::now();
+    StatusOr<std::string> response = transport_.Call(message, attempt_stop);
+    if (response.ok()) {
+      RecordLatencyMs(std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count());
+    }
+    bool duplicate = false;
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      --state->outstanding;
+      if (response.ok()) {
+        if (!state->has_ok) {
+          state->has_ok = true;
+          state->ok_from_hedge = is_hedge;
+          state->ok_payload = std::move(response).value();
+        } else {
+          // The race was already won; this answer is the duplicate the
+          // dedup contract exists for.
+          duplicate = true;
+        }
+      } else {
+        state->last_error = response.status();
+      }
+      state->cv.notify_all();
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (duplicate) ++stats_.duplicate_responses;
+    if (!response.ok()) ++stats_.transport_errors;
+  });
+}
+
+StatusOr<std::string> ShardedExpansionService::CallShard(
+    std::uint32_t shard, const std::string& method, std::uint64_t request_id,
+    const std::string& payload, const StopCondition& stop) {
+  // Health gate: a shard whose calls keep failing is ejected (skipped)
+  // for the breaker cooldown, then probed with a single logical call.
+  bool is_probe = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    switch (health_[shard].TryAdmit()) {
+      case CircuitBreaker::Admission::kReject:
+        ++stats_.breaker_skipped;
+        return Status::Unavailable("shard ejected by health breaker");
+      case CircuitBreaker::Admission::kProbe:
+        is_probe = true;
+        health_[shard].OnProbeAdmitted();
+        break;
+      case CircuitBreaker::Admission::kAdmit:
+        break;
+    }
+  }
+
+  std::optional<std::string> ok_payload;
+  bool ok_from_hedge = false;
+  Status final_status = Status::Unavailable("no attempt ran");
+  for (std::size_t attempt = 1; attempt <= options_.max_attempts; ++attempt) {
+    if (stop.ShouldStop()) {
+      final_status = stop.ToStatus("shard call");
+      break;
+    }
+    if (attempt > 1) {
+      double backoff_ms =
+          options_.retry_backoff_initial_ms *
+          std::pow(options_.retry_backoff_factor,
+                   static_cast<double>(attempt - 2));
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.retries;
+        if (options_.retry_jitter_fraction > 0.0) {
+          backoff_ms *= 1.0 + options_.retry_jitter_fraction *
+                                  (2.0 * retry_rng_.Uniform() - 1.0);
+        }
+      }
+      if (!net::SleepUnlessStopped(backoff_ms, stop)) {
+        final_status = stop.ToStatus("shard call backoff");
+        break;
+      }
+    }
+
+    // Per-attempt deadline split, clamped against already-elapsed time:
+    // the REMAINING budget (not the nominal one) is divided across the
+    // attempts still available, so attempt 3 of 3 gets whatever is truly
+    // left instead of a share of a budget that no longer exists.
+    const std::size_t attempts_left = options_.max_attempts - attempt + 1;
+    const double remaining = stop.deadline().RemainingSeconds();
+    StopCondition attempt_stop = stop;
+    if (std::isfinite(remaining)) {
+      attempt_stop = stop.WithDeadline(Deadline::AfterSeconds(
+          remaining / static_cast<double>(attempts_left)));
+    }
+
+    auto state = std::make_shared<CallState>();
+    LaunchAttempt(shard, method, request_id, payload, attempt_stop, state,
+                  /*is_hedge=*/false);
+
+    const double hedge_delay_ms = HedgeDelayMs();
+    const auto hedge_at =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double, std::milli>(hedge_delay_ms));
+    bool hedge_launched = false;
+    std::unique_lock<std::mutex> lock(state->mu);
+    for (;;) {
+      if (state->has_ok || state->outstanding == 0) break;
+      if (options_.hedging && !hedge_launched &&
+          std::chrono::steady_clock::now() >= hedge_at &&
+          !attempt_stop.ShouldStop()) {
+        // The primary is now slower than the tracked latency quantile:
+        // fire the hedge at the same shard. Idempotent request ids make
+        // the duplicate harmless server-side; first answer wins here.
+        hedge_launched = true;
+        lock.unlock();
+        LaunchAttempt(shard, method, request_id, payload, attempt_stop,
+                      state, /*is_hedge=*/true);
+        lock.lock();
+        continue;
+      }
+      // Polling wait (2 ms bounds stop-detection latency; StopCondition
+      // carries no waitable handle).
+      state->cv.wait_for(lock, std::chrono::milliseconds(2));
+    }
+    if (state->has_ok) {
+      ok_payload = std::move(state->ok_payload);
+      ok_from_hedge = state->ok_from_hedge;
+      break;
+    }
+    final_status = state->last_error;
+    lock.unlock();
+    if (!RetryableCode(final_status.code())) break;
+  }
+
+  CircuitBreaker::Outcome outcome;
+  if (ok_payload.has_value()) {
+    outcome = CircuitBreaker::Outcome::kSuccess;
+  } else if (stop.ShouldStop()) {
+    // The caller gave up (their cancel or overall deadline); that says
+    // nothing about this shard's health.
+    outcome = CircuitBreaker::Outcome::kNeutral;
+  } else if (RetryableCode(final_status.code())) {
+    outcome = CircuitBreaker::Outcome::kFailure;
+  } else {
+    // A definitive application answer proves the shard is reachable.
+    outcome = CircuitBreaker::Outcome::kSuccess;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    health_[shard].Record(outcome, is_probe);
+    if (ok_payload.has_value() && ok_from_hedge) ++stats_.hedge_wins;
+  }
+  if (ok_payload.has_value()) return std::move(*ok_payload);
+  return final_status;
+}
+
+ShardedPredictResult ShardedExpansionService::Predict(
+    const PredictRequest& request, double deadline_seconds,
+    const StopCondition& stop) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.requests;
+  }
+  ShardedPredictResult out;
+  out.values.assign(request.items.size(), std::nullopt);
+
+  StopCondition overall;
+  Status shed_status;
+  if (!AdmitRequest(deadline_seconds, stop, &overall, &shed_status)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.shed_expired;
+    out.status = shed_status;
+    return out;
+  }
+
+  // Scatter: group the requested items by their ring owner.
+  std::vector<std::vector<std::size_t>> positions(ring_.num_shards());
+  for (std::size_t i = 0; i < request.items.size(); ++i) {
+    positions[ring_.OwnerOfItem(request.items[i])].push_back(i);
+  }
+
+  struct Gather {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::size_t outstanding = 0;
+    std::size_t answered_shards = 0;
+    std::vector<std::optional<bool>> values;
+  };
+  auto gather = std::make_shared<Gather>();
+  gather->values.assign(request.items.size(), std::nullopt);
+
+  for (std::uint32_t shard = 0; shard < ring_.num_shards(); ++shard) {
+    if (positions[shard].empty()) continue;
+    ++out.shards_asked;
+    PredictRequest sub;
+    sub.gold_items = request.gold_items;
+    sub.gold_labels = request.gold_labels;
+    sub.extractor = request.extractor;
+    sub.items.reserve(positions[shard].size());
+    for (std::size_t i : positions[shard]) {
+      sub.items.push_back(request.items[i]);
+    }
+    std::string payload = EncodePredictRequest(sub);
+    const std::uint64_t request_id = HashBytes(payload);
+    {
+      std::lock_guard<std::mutex> lock(gather->mu);
+      ++gather->outstanding;
+    }
+    std::vector<std::size_t> shard_positions = positions[shard];
+    fanout_pool_.Submit([this, shard, payload = std::move(payload),
+                         request_id, shard_positions = std::move(
+                             shard_positions),
+                         gather, overall] {
+      StatusOr<std::string> response =
+          CallShard(shard, "predict", request_id, payload, overall);
+      std::lock_guard<std::mutex> lock(gather->mu);
+      if (response.ok()) {
+        StatusOr<PredictResponse> decoded =
+            DecodePredictResponse(response.value());
+        if (decoded.ok() &&
+            decoded.value().values.size() == shard_positions.size()) {
+          for (std::size_t i = 0; i < shard_positions.size(); ++i) {
+            gather->values[shard_positions[i]] = decoded.value().values[i];
+          }
+          ++gather->answered_shards;
+        }
+      }
+      --gather->outstanding;
+      gather->cv.notify_all();
+    });
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(gather->mu);
+    while (gather->outstanding > 0) {
+      // Polling wait: leaf calls observe `overall` themselves, so this
+      // drains within the request budget.
+      gather->cv.wait_for(lock, std::chrono::milliseconds(2));
+    }
+    out.values = std::move(gather->values);
+    out.shards_answered = gather->answered_shards;
+  }
+
+  std::size_t answered_items = 0;
+  for (const std::optional<bool>& value : out.values) {
+    if (value.has_value()) ++answered_items;
+  }
+  out.coverage = request.items.empty()
+                     ? 1.0
+                     : static_cast<double>(answered_items) /
+                           static_cast<double>(request.items.size());
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (answered_items == request.items.size()) {
+    out.status = Status::Ok();
+    ++stats_.completed;
+  } else if (out.coverage >= options_.min_coverage) {
+    // Graceful degradation: a minority of shards unreachable yields the
+    // reachable shards' answers plus an honest coverage fraction — never
+    // a blanket Unavailable.
+    out.status = Status::Ok();
+    ++stats_.partial;
+  } else if (overall.ShouldStop()) {
+    out.status = overall.ToStatus("sharded predict");
+    ++stats_.failed;
+  } else {
+    out.status = Status::Unavailable("predict coverage below minimum");
+    ++stats_.failed;
+  }
+  return out;
+}
+
+ShardedKnnResult ShardedExpansionService::Knn(std::uint32_t item,
+                                              std::uint32_t k,
+                                              double deadline_seconds,
+                                              const StopCondition& stop) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.requests;
+  }
+  ShardedKnnResult out;
+  out.shard_answered.assign(ring_.num_shards(), false);
+
+  StopCondition overall;
+  Status shed_status;
+  if (!AdmitRequest(deadline_seconds, stop, &overall, &shed_status)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.shed_expired;
+    out.status = shed_status;
+    return out;
+  }
+
+  const std::string payload = EncodeKnnRequest(KnnRequest{item, k});
+  const std::uint64_t base_id = HashBytes(payload);
+
+  struct Gather {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::size_t outstanding = 0;
+    std::vector<bool> answered;
+    std::vector<KnnNeighbor> merged;
+  };
+  auto gather = std::make_shared<Gather>();
+  gather->answered.assign(ring_.num_shards(), false);
+
+  for (std::uint32_t shard = 0; shard < ring_.num_shards(); ++shard) {
+    {
+      std::lock_guard<std::mutex> lock(gather->mu);
+      ++gather->outstanding;
+    }
+    // Distinct id per shard: the same bytes go to every shard, but each
+    // (shard, request) pair is its own idempotency scope.
+    const std::uint64_t request_id = base_id ^ shard;
+    fanout_pool_.Submit([this, shard, payload, request_id, gather, overall] {
+      StatusOr<std::string> response =
+          CallShard(shard, "knn", request_id, payload, overall);
+      std::lock_guard<std::mutex> lock(gather->mu);
+      if (response.ok()) {
+        StatusOr<KnnResponse> decoded = DecodeKnnResponse(response.value());
+        if (decoded.ok()) {
+          gather->answered[shard] = true;
+          for (const KnnNeighbor& neighbor : decoded.value().neighbors) {
+            gather->merged.push_back(neighbor);
+          }
+        }
+      }
+      --gather->outstanding;
+      gather->cv.notify_all();
+    });
+  }
+
+  std::size_t answered_shards = 0;
+  {
+    std::unique_lock<std::mutex> lock(gather->mu);
+    while (gather->outstanding > 0) {
+      gather->cv.wait_for(lock, std::chrono::milliseconds(2));
+    }
+    out.shard_answered = gather->answered;
+    out.neighbors = std::move(gather->merged);
+  }
+  for (bool answered : out.shard_answered) {
+    if (answered) ++answered_shards;
+  }
+
+  std::sort(out.neighbors.begin(), out.neighbors.end(),
+            [](const KnnNeighbor& a, const KnnNeighbor& b) {
+              return a.distance != b.distance ? a.distance < b.distance
+                                              : a.index < b.index;
+            });
+  if (out.neighbors.size() > k) out.neighbors.resize(k);
+  out.coverage = static_cast<double>(answered_shards) /
+                 static_cast<double>(ring_.num_shards());
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (answered_shards == ring_.num_shards()) {
+    out.status = Status::Ok();
+    ++stats_.completed;
+  } else if (out.coverage >= options_.min_coverage) {
+    out.status = Status::Ok();
+    ++stats_.partial;
+  } else if (overall.ShouldStop()) {
+    out.status = overall.ToStatus("sharded knn");
+    ++stats_.failed;
+  } else {
+    out.status = Status::Unavailable("knn coverage below minimum");
+    ++stats_.failed;
+  }
+  return out;
+}
+
+ShardedExpandResult ShardedExpansionService::Expand(ExpansionJob job,
+                                                    const StopCondition& stop) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.requests;
+  }
+  ShardedExpandResult out;
+
+  // Merge the job's own token into the overall stop when the caller's
+  // StopCondition carries none (the common single-caller shape).
+  const StopCondition base =
+      stop.token().can_be_cancelled()
+          ? stop
+          : StopCondition(job.cancel, stop.deadline());
+  StopCondition overall;
+  Status shed_status;
+  if (!AdmitRequest(job.deadline_seconds, base, &overall, &shed_status)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.shed_expired;
+    out.status = shed_status;
+    return out;
+  }
+
+  const std::uint64_t fingerprint = ExpansionJobFingerprint(job);
+  const std::uint32_t shard = ring_.Owner(fingerprint);
+  out.shard = shard;
+  const std::string payload = EncodeExpandRequest(job);
+
+  // The fingerprint IS the request id: every retry, hedge and transport
+  // duplicate of this job lands in the owner shard's idempotency cache.
+  StatusOr<std::string> response =
+      CallShard(shard, "expand", fingerprint, payload, overall);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!response.ok()) {
+    out.status = response.status();
+    ++stats_.failed;
+    return out;
+  }
+  StatusOr<ExpandResponse> decoded = DecodeExpandResponse(response.value());
+  if (!decoded.ok()) {
+    out.status = decoded.status();
+    ++stats_.failed;
+    return out;
+  }
+  out.result = std::move(decoded).value().result;
+  out.status = Status::Ok();
+  ++stats_.completed;
+  return out;
+}
+
+}  // namespace ccdb::core

@@ -1,0 +1,226 @@
+#ifndef CCDB_CORE_SHARDED_SERVICE_H_
+#define CCDB_CORE_SHARDED_SERVICE_H_
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/cancellation.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "core/circuit_breaker.h"
+#include "core/consistent_ring.h"
+#include "core/expansion_wire.h"
+#include "net/transport.h"
+
+namespace ccdb::core {
+
+/// Policy knobs of the sharded expansion router.
+struct ShardedExpansionOptions {
+  /// Transport node id of each shard; index == shard index on the ring.
+  std::vector<std::uint32_t> shard_nodes;
+  /// Must match every shard server's ring configuration.
+  std::uint32_t vnodes_per_shard = 16;
+  /// Seed of the retry-jitter stream (replayable schedules, like every
+  /// other stochastic component).
+  std::uint64_t seed = 0;
+
+  /// Retry policy per logical shard call: up to `max_attempts` tries,
+  /// exponential backoff with seeded jitter between them. Only transient
+  /// failures (Unavailable / DeadlineExceeded / ResourceExhausted) retry;
+  /// definitive answers never do.
+  std::size_t max_attempts = 3;
+  double retry_backoff_initial_ms = 1.0;
+  double retry_backoff_factor = 2.0;
+  /// Backoff multiplier jitter in [0, 1): factor drawn uniformly from
+  /// [1 - j, 1 + j], de-synchronizing retry storms across callers.
+  double retry_jitter_fraction = 0.2;
+
+  /// Tail-at-scale hedging: when a call's primary has not answered after
+  /// the tracked `hedge_quantile` of recent call latencies (clamped to
+  /// [hedge_min_delay_ms, hedge_max_delay_ms]), a duplicate of the same
+  /// idempotent request is fired at the shard and the first answer wins.
+  /// false disables hedging entirely.
+  bool hedging = true;
+  double hedge_quantile = 0.9;
+  double hedge_min_delay_ms = 1.0;
+  double hedge_max_delay_ms = 50.0;
+
+  /// Per-shard health breaker (outlier ejection): shards whose calls keep
+  /// failing at the transport level are skipped for a cooldown, then
+  /// probed with a single call.
+  CircuitBreakerOptions health;
+
+  /// Degradation contract: a scatter-gather that reaches at least this
+  /// coverage fraction returns Ok with partial results; below it the
+  /// request fails Unavailable. 0.5 = "a minority of shards down degrades,
+  /// a majority fails".
+  double min_coverage = 0.5;
+
+  /// Wall-clock budget for requests that do not carry their own.
+  double default_deadline_seconds = std::numeric_limits<double>::infinity();
+  /// Requests arriving with less than this many seconds of budget left
+  /// are shed immediately with DeadlineExceeded instead of enqueueing
+  /// work on every shard and cancelling it moments later.
+  double min_fanout_seconds = 1e-3;
+
+  /// Threads making leaf transport calls (primaries + hedges) and threads
+  /// running per-shard scatter wrappers. Scatter wrappers block on leaf
+  /// calls, so the two stages must not share a pool.
+  std::size_t call_workers = 8;
+  std::size_t fanout_workers = 4;
+};
+
+/// Monotonic router counters. Identity (after the calls in question have
+/// returned): requests == completed + partial + failed + shed_expired.
+struct ShardedServiceStats {
+  // Per public request (Predict / Knn / Expand):
+  std::uint64_t requests = 0;
+  std::uint64_t completed = 0;    ///< full coverage, Ok
+  std::uint64_t partial = 0;      ///< degraded coverage >= min_coverage, Ok
+  std::uint64_t failed = 0;       ///< below min_coverage or terminal error
+  std::uint64_t shed_expired = 0; ///< shed pre-fan-out (deadline clamp)
+  // Per shard call:
+  std::uint64_t attempts = 0;            ///< transport sends incl. retries
+  std::uint64_t retries = 0;             ///< attempts beyond the first
+  std::uint64_t hedges_fired = 0;        ///< duplicate requests launched
+  std::uint64_t hedge_wins = 0;          ///< hedge answered before primary
+  std::uint64_t duplicate_responses = 0; ///< answers after the race was won
+  std::uint64_t breaker_skipped = 0;     ///< calls rejected by shard health
+  std::uint64_t transport_errors = 0;    ///< failed attempts
+};
+
+/// Predict over a sharded deployment. `values` aligns with the request's
+/// item list; nullopt marks items whose owner shard was unreachable.
+struct ShardedPredictResult {
+  std::vector<std::optional<bool>> values;
+  /// Fraction of requested items answered — the degradation contract's
+  /// coverage fraction (1.0 = full answer).
+  double coverage = 0.0;
+  std::size_t shards_asked = 0;
+  std::size_t shards_answered = 0;
+  Status status = Status::FailedPrecondition("predict not run");
+};
+
+struct ShardedKnnResult {
+  /// Global top-k merged from the per-shard lists, ordered by
+  /// (distance, index).
+  std::vector<KnnNeighbor> neighbors;
+  /// Fraction of shards that answered; unreachable shards' items are
+  /// silently absent from `neighbors` (degraded answer).
+  double coverage = 0.0;
+  /// shard_answered[s] — whether shard s contributed.
+  std::vector<bool> shard_answered;
+  Status status = Status::FailedPrecondition("knn not run");
+};
+
+struct ShardedExpandResult {
+  /// Application-level outcome (valid when `status` is Ok). Its own
+  /// `status` field reports expansion-level failures.
+  SchemaExpansionResult result;
+  /// Shard that owned the job's fingerprint.
+  std::uint32_t shard = 0;
+  /// Transport-level outcome of reaching the owner shard.
+  Status status = Status::FailedPrecondition("expand not run");
+};
+
+/// Scatter-gather front end over N ExpansionShardServer replicas behind a
+/// Transport. Items and job fingerprints route via the same consistent
+/// ring the servers build; every cross-replica byte flows through the
+/// Transport seam, so the whole router is testable under FaultTransport.
+///
+/// Robustness machinery per shard call: bounded retries with jittered
+/// exponential backoff, hedged duplicates after a quantile-tracked delay
+/// (safe because every request is idempotent server-side), and a health
+/// breaker that ejects persistently failing shards. Scatter-gather
+/// requests degrade gracefully: a minority of unreachable shards yields a
+/// partial result with a coverage fraction instead of an error.
+class ShardedExpansionService {
+ public:
+  /// Borrows `transport` (must outlive the router).
+  ShardedExpansionService(net::Transport& transport,
+                          ShardedExpansionOptions options);
+  ~ShardedExpansionService();
+
+  ShardedExpansionService(const ShardedExpansionService&) = delete;
+  ShardedExpansionService& operator=(const ShardedExpansionService&) = delete;
+
+  /// Batched prediction, scattered to the shards owning the request's
+  /// items. `deadline_seconds <= 0` inherits the router default; `stop`
+  /// carries the caller's token and any pre-existing deadline (clamped
+  /// before fan-out: an already-expired budget sheds with
+  /// DeadlineExceeded and zero transport traffic).
+  ShardedPredictResult Predict(const PredictRequest& request,
+                               double deadline_seconds = 0.0,
+                               const StopCondition& stop = {});
+
+  /// Global k nearest neighbours of `item`, merged from every shard's
+  /// owned-item top-k.
+  ShardedKnnResult Knn(std::uint32_t item, std::uint32_t k,
+                       double deadline_seconds = 0.0,
+                       const StopCondition& stop = {});
+
+  /// Routes a full expansion job to the shard owning its fingerprint.
+  /// The fingerprint doubles as the request id, so retries, hedges and
+  /// transport duplicates all hit the shard's idempotency cache — crowd
+  /// dollars are spent exactly once per distinct job.
+  ShardedExpandResult Expand(ExpansionJob job, const StopCondition& stop = {});
+
+  ShardedServiceStats stats() const;
+  BreakerState shard_health(std::uint32_t shard) const;
+  const ConsistentRing& ring() const { return ring_; }
+
+ private:
+  struct CallState;
+
+  /// One logical call to `shard`: retries + hedging + health accounting.
+  [[nodiscard]] StatusOr<std::string> CallShard(std::uint32_t shard,
+                                  const std::string& method,
+                                  std::uint64_t request_id,
+                                  const std::string& payload,
+                                  const StopCondition& stop);
+
+  /// Launches one transport attempt (primary or hedge) on the call pool.
+  void LaunchAttempt(std::uint32_t shard, const std::string& method,
+                     std::uint64_t request_id, const std::string& payload,
+                     const StopCondition& attempt_stop,
+                     const std::shared_ptr<CallState>& state, bool is_hedge);
+
+  /// Builds the request's overall stop condition and applies the
+  /// pre-fan-out deadline clamp. Returns false (and fills `shed_status`)
+  /// when the request must shed immediately.
+  bool AdmitRequest(double deadline_seconds, const StopCondition& stop,
+                    StopCondition* overall, Status* shed_status);
+
+  /// Current hedge delay from the tracked latency quantile, in ms.
+  double HedgeDelayMs() const;
+  void RecordLatencyMs(double ms);
+
+  net::Transport& transport_;
+  const ShardedExpansionOptions options_;
+  const ConsistentRing ring_;
+
+  mutable std::mutex mu_;
+  ShardedServiceStats stats_;
+  std::vector<CircuitBreaker> health_;
+  Rng retry_rng_;
+  /// Ring buffer of recent call latencies feeding the hedge quantile.
+  std::vector<double> latency_samples_;
+  std::size_t latency_next_ = 0;
+
+  /// Pools declared last (destroyed first, while the state their tasks
+  /// touch is alive). Fanout wrappers block on leaf calls, so the fanout
+  /// pool must be destroyed (drained) before the call pool: declare
+  /// call_pool_ first.
+  ThreadPool call_pool_;
+  ThreadPool fanout_pool_;
+};
+
+}  // namespace ccdb::core
+
+#endif  // CCDB_CORE_SHARDED_SERVICE_H_

@@ -1,0 +1,75 @@
+#include "net/transport.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+namespace ccdb::net {
+
+Status LocalTransport::Register(std::uint32_t node, Handler handler) {
+  if (!handler) {
+    return Status::InvalidArgument("LocalTransport: handler must be callable");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = nodes_.try_emplace(node);
+  if (!inserted) {
+    return Status::FailedPrecondition("LocalTransport: node already registered");
+  }
+  it->second.handler = std::make_shared<Handler>(std::move(handler));
+  return Status::Ok();
+}
+
+void LocalTransport::Unregister(std::uint32_t node) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto it = nodes_.find(node);
+  if (it == nodes_.end()) return;
+  // Make the node invisible to new Calls first, then wait for deliveries
+  // that already grabbed the handler to drain; the caller may free the
+  // handler's captured state as soon as we return.
+  std::shared_ptr<Handler> handler = std::move(it->second.handler);
+  it->second.handler.reset();
+  drained_.wait(lock, [&] { return it->second.in_flight == 0; });
+  nodes_.erase(it);
+}
+
+StatusOr<std::string> LocalTransport::Call(const Message& message,
+                                           const StopCondition& stop) {
+  if (Status stopped = stop.ToStatus(); !stopped.ok()) return stopped;
+  std::shared_ptr<Handler> handler;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = nodes_.find(message.to);
+    if (it == nodes_.end() || !it->second.handler) {
+      return Status::Unavailable("LocalTransport: node unreachable");
+    }
+    handler = it->second.handler;
+    ++it->second.in_flight;
+  }
+  StatusOr<std::string> response = (*handler)(message);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = nodes_.find(message.to);
+    if (it != nodes_.end() && --it->second.in_flight == 0) {
+      drained_.notify_all();
+    }
+  }
+  return response;
+}
+
+bool SleepUnlessStopped(double ms, const StopCondition& stop) {
+  using Clock = std::chrono::steady_clock;
+  const auto until =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double, std::milli>(ms));
+  while (Clock::now() < until) {
+    if (stop.ShouldStop()) return false;
+    const auto remaining = until - Clock::now();
+    const auto step = std::min<Clock::duration>(
+        remaining, std::chrono::milliseconds(1));
+    if (step > Clock::duration::zero()) std::this_thread::sleep_for(step);
+  }
+  return !stop.ShouldStop();
+}
+
+}  // namespace ccdb::net

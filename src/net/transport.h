@@ -1,0 +1,101 @@
+#ifndef CCDB_NET_TRANSPORT_H_
+#define CCDB_NET_TRANSPORT_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/cancellation.h"
+#include "common/status.h"
+
+namespace ccdb::net {
+
+/// Node id of the front-end router (the "client side" of every
+/// scatter-gather). Replica nodes use small dense ids; the client id is
+/// reserved so partitions can cut the client off from a shard too.
+inline constexpr std::uint32_t kClientNode = 0xFFFFFFFFu;
+
+/// One request between service instances. `request_id` is the caller's
+/// idempotency key: retries and hedged duplicates of the same logical
+/// request carry the same id, so a replica (or its result cache) can
+/// recognize re-deliveries and answer them without redoing paid work.
+struct Message {
+  std::uint32_t from = kClientNode;
+  std::uint32_t to = 0;
+  std::string method;
+  std::uint64_t request_id = 0;
+  std::string payload;
+};
+
+/// Server side of a node: decodes the payload, does the work, returns the
+/// encoded response. Application-level failures travel back as the
+/// handler's Status; transport-level failures (drop, reset, partition,
+/// unreachable node) are produced by the Transport itself as Unavailable.
+using Handler = std::function<StatusOr<std::string>(const Message&)>;
+
+/// The communication analog of the common/io.h Fs seam: every byte that
+/// crosses a replica boundary flows through a Transport, so message-level
+/// faults (loss, duplication, delay, reordering, resets, partitions) can
+/// be injected deterministically (FaultTransport) and the scatter-gather
+/// robustness machinery — retries, hedging, health gating, partial-result
+/// degradation — is a tested property instead of an assumption.
+/// Implementations must be safe to share across threads.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Installs `handler` as node `node`. FailedPrecondition when the node
+  /// is already registered.
+  [[nodiscard]] virtual Status Register(std::uint32_t node,
+                                        Handler handler) = 0;
+
+  /// Removes the node (subsequent Calls fail Unavailable — the replica
+  /// "crashed"). Blocks until every in-flight delivery to the node has
+  /// drained, so the handler's captured state may be destroyed safely
+  /// right after. Unregistering an unknown node is a no-op.
+  virtual void Unregister(std::uint32_t node) = 0;
+
+  /// Synchronous request/response. `stop` bounds the caller's wait (the
+  /// per-attempt deadline of a retry/hedging policy); when it fires while
+  /// the message is still in transit the call returns Cancelled /
+  /// DeadlineExceeded — whether the handler ran (and e.g. spent money) is
+  /// deliberately unknowable, exactly like a timed-out RPC.
+  [[nodiscard]] virtual StatusOr<std::string> Call(
+      const Message& message, const StopCondition& stop) = 0;
+};
+
+/// In-process Transport: direct handler dispatch, no faults. The default
+/// backend FaultTransport decorates, and the fixture for single-process
+/// multi-replica topologies (every replica lives in this process).
+class LocalTransport final : public Transport {
+ public:
+  [[nodiscard]] Status Register(std::uint32_t node, Handler handler) override;
+  void Unregister(std::uint32_t node) override;
+  [[nodiscard]] StatusOr<std::string> Call(const Message& message,
+                                           const StopCondition& stop) override;
+
+ private:
+  struct Node {
+    std::shared_ptr<Handler> handler;
+    std::size_t in_flight = 0;
+  };
+
+  mutable std::mutex mutex_;
+  std::condition_variable drained_;
+  std::map<std::uint32_t, Node> nodes_;
+};
+
+/// Sleeps for `ms` wall milliseconds, probing `stop` every millisecond.
+/// Returns false when the stop fired first (the sleep was cut short).
+/// Lives here so cancellable code under src/core (which the blocking-wait
+/// lint rule forbids from sleeping unconditionally) can wait through one
+/// audited primitive.
+bool SleepUnlessStopped(double ms, const StopCondition& stop);
+
+}  // namespace ccdb::net
+
+#endif  // CCDB_NET_TRANSPORT_H_

@@ -1,0 +1,14 @@
+// Fixture: the sharded router calling a replica's ExpansionService
+// directly — the cross-replica bypass the transport-seam rule bans.
+namespace ccdb::core {
+
+void BadBypass(ExpansionService& replica, ExpansionJob job) {
+  auto ticket = replica.ExpandAttribute(job);
+}
+
+void AlsoBad(ExpansionShardServer& server) { Use(server); }
+
+// ccdb-lint: allow(transport-seam) — fixture: suppression spelling works.
+void Allowed(ExpansionService& replica) { Use(replica); }
+
+}  // namespace ccdb::core

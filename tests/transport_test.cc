@@ -1,0 +1,335 @@
+// Tests for the net/ communication seam: LocalTransport request/response
+// semantics (registration, unreachable nodes, quiescent unregister) and
+// the FaultTransport decorator — every fault knob, replayable schedules
+// from a (seed, knobs) pair, deterministic single-fault mode, and named
+// partitions with healing.
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/cancellation.h"
+#include "common/thread_pool.h"
+#include "gtest/gtest.h"
+#include "net/fault_transport.h"
+#include "net/transport.h"
+
+namespace ccdb::net {
+namespace {
+
+Message Msg(std::uint32_t to, const std::string& method = "echo",
+            const std::string& payload = "ping") {
+  Message m;
+  m.from = kClientNode;
+  m.to = to;
+  m.method = method;
+  m.request_id = 42;
+  m.payload = payload;
+  return m;
+}
+
+Handler Echo(std::atomic<int>* calls = nullptr) {
+  return [calls](const Message& m) -> StatusOr<std::string> {
+    if (calls != nullptr) calls->fetch_add(1);
+    return "echo:" + m.payload;
+  };
+}
+
+/// Polls `done` for up to ~2 s. Returns its final value.
+bool EventuallyTrue(const std::atomic<bool>& done) {
+  for (int i = 0; i < 2000 && !done.load(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return done.load();
+}
+
+// --- LocalTransport ---------------------------------------------------------
+
+TEST(LocalTransportTest, RegisterCallUnregisterRoundTrip) {
+  LocalTransport transport;
+  ASSERT_TRUE(transport.Register(1, Echo()).ok());
+
+  StatusOr<std::string> response = transport.Call(Msg(1), StopCondition());
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response.value(), "echo:ping");
+
+  transport.Unregister(1);
+  StatusOr<std::string> after = transport.Call(Msg(1), StopCondition());
+  ASSERT_FALSE(after.ok());
+  EXPECT_EQ(after.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(LocalTransportTest, RegistrationErrors) {
+  LocalTransport transport;
+  EXPECT_EQ(transport.Register(1, Handler()).code(),
+            StatusCode::kInvalidArgument);
+  ASSERT_TRUE(transport.Register(1, Echo()).ok());
+  EXPECT_EQ(transport.Register(1, Echo()).code(),
+            StatusCode::kFailedPrecondition);
+  transport.Unregister(7);  // unknown node: no-op
+  EXPECT_EQ(transport.Call(Msg(9), StopCondition()).status().code(),
+            StatusCode::kUnavailable);
+}
+
+TEST(LocalTransportTest, PreFiredStopShortCircuitsBeforeDelivery) {
+  LocalTransport transport;
+  std::atomic<int> calls{0};
+  ASSERT_TRUE(transport.Register(1, Echo(&calls)).ok());
+  CancellationSource source;
+  source.Cancel();
+  StatusOr<std::string> response =
+      transport.Call(Msg(1), StopCondition(source.token()));
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(LocalTransportTest, UnregisterBlocksUntilInFlightDeliveriesDrain) {
+  LocalTransport transport;
+  std::atomic<bool> in_handler{false};
+  std::atomic<bool> release{false};
+  ASSERT_TRUE(transport
+                  .Register(1,
+                            [&](const Message&) -> StatusOr<std::string> {
+                              in_handler.store(true);
+                              while (!release.load()) {
+                                std::this_thread::sleep_for(
+                                    std::chrono::milliseconds(1));
+                              }
+                              return std::string("late");
+                            })
+                  .ok());
+
+  std::atomic<bool> call_done{false};
+  std::atomic<bool> unregister_done{false};
+  {
+    ThreadPool pool(2);
+    pool.Submit([&] {
+      StatusOr<std::string> response = transport.Call(Msg(1), StopCondition());
+      EXPECT_TRUE(response.ok());
+      call_done.store(true);
+    });
+    ASSERT_TRUE(EventuallyTrue(in_handler));
+
+    pool.Submit([&] {
+      transport.Unregister(1);
+      unregister_done.store(true);
+    });
+    // The delivery is still in flight: Unregister must not return yet.
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    EXPECT_FALSE(unregister_done.load());
+
+    release.store(true);
+    ASSERT_TRUE(EventuallyTrue(unregister_done));
+    ASSERT_TRUE(EventuallyTrue(call_done));
+  }
+}
+
+TEST(SleepUnlessStoppedTest, CompletesCleanAndCutsShortOnStop) {
+  EXPECT_TRUE(SleepUnlessStopped(1.0, StopCondition()));
+  CancellationSource source;
+  source.Cancel();
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(SleepUnlessStopped(500.0, StopCondition(source.token())));
+  EXPECT_LT(std::chrono::steady_clock::now() - start,
+            std::chrono::milliseconds(250));
+}
+
+// --- FaultTransport: individual knobs ---------------------------------------
+
+TEST(FaultTransportTest, CleanPassThroughWhenAllKnobsAreZero) {
+  FaultTransport transport(FaultTransportOptions{});
+  std::atomic<int> calls{0};
+  ASSERT_TRUE(transport.Register(1, Echo(&calls)).ok());
+  for (int i = 0; i < 10; ++i) {
+    StatusOr<std::string> response = transport.Call(Msg(1), StopCondition());
+    ASSERT_TRUE(response.ok());
+  }
+  EXPECT_EQ(calls.load(), 10);
+  EXPECT_EQ(transport.ops_observed(), 10u);
+  EXPECT_EQ(transport.faults_injected(), 0u);
+}
+
+TEST(FaultTransportTest, DropNeverRunsTheHandler) {
+  FaultTransportOptions options;
+  options.drop_prob = 1.0;
+  FaultTransport transport(options);
+  std::atomic<int> calls{0};
+  ASSERT_TRUE(transport.Register(1, Echo(&calls)).ok());
+  StatusOr<std::string> response = transport.Call(Msg(1), StopCondition());
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(calls.load(), 0);
+  ASSERT_EQ(transport.Trace().size(), 1u);
+  EXPECT_EQ(transport.Trace()[0].fault_kind, "drop");
+}
+
+TEST(FaultTransportTest, DuplicateRunsTheHandlerTwicePerCall) {
+  FaultTransportOptions options;
+  options.duplicate_prob = 1.0;
+  FaultTransport transport(options);
+  std::atomic<int> calls{0};
+  ASSERT_TRUE(transport.Register(1, Echo(&calls)).ok());
+  StatusOr<std::string> response = transport.Call(Msg(1), StopCondition());
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response.value(), "echo:ping");
+  EXPECT_EQ(calls.load(), 2);
+  EXPECT_EQ(transport.Trace()[0].fault_kind, "duplicate");
+}
+
+TEST(FaultTransportTest, ResetRunsTheHandlerButLosesTheResponse) {
+  FaultTransportOptions options;
+  options.reset_prob = 1.0;
+  FaultTransport transport(options);
+  std::atomic<int> calls{0};
+  ASSERT_TRUE(transport.Register(1, Echo(&calls)).ok());
+  StatusOr<std::string> response = transport.Call(Msg(1), StopCondition());
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kUnavailable);
+  // The nastiest fault: server-side effects are real, the answer is gone.
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_EQ(transport.Trace()[0].fault_kind, "reset");
+}
+
+TEST(FaultTransportTest, DelayAndReorderStillDeliver) {
+  for (const bool delay : {true, false}) {
+    FaultTransportOptions options;
+    if (delay) {
+      options.delay_prob = 1.0;
+      options.delay_min_ms = 0.1;
+      options.delay_max_ms = 1.0;
+    } else {
+      options.reorder_prob = 1.0;
+      options.reorder_max_delay_ms = 1.0;
+    }
+    FaultTransport transport(options);
+    std::atomic<int> calls{0};
+    ASSERT_TRUE(transport.Register(1, Echo(&calls)).ok());
+    StatusOr<std::string> response = transport.Call(Msg(1), StopCondition());
+    ASSERT_TRUE(response.ok());
+    EXPECT_EQ(calls.load(), 1);
+    EXPECT_EQ(transport.Trace()[0].fault_kind, delay ? "delay" : "reorder");
+  }
+}
+
+TEST(FaultTransportTest, FaultAtOpDropsExactlyThatCall) {
+  FaultTransportOptions options;
+  options.fault_at_op = 3;
+  FaultTransport transport(options);
+  ASSERT_TRUE(transport.Register(1, Echo()).ok());
+  for (int op = 1; op <= 5; ++op) {
+    StatusOr<std::string> response = transport.Call(Msg(1), StopCondition());
+    if (op == 3) {
+      ASSERT_FALSE(response.ok());
+      EXPECT_EQ(response.status().code(), StatusCode::kUnavailable);
+    } else {
+      ASSERT_TRUE(response.ok()) << "op " << op;
+    }
+  }
+  EXPECT_EQ(transport.ops_observed(), 5u);
+  EXPECT_EQ(transport.faults_injected(), 1u);
+}
+
+// --- FaultTransport: replayability ------------------------------------------
+
+std::vector<std::string> RunSchedule(std::uint64_t seed) {
+  FaultTransportOptions options;
+  options.seed = seed;
+  options.drop_prob = 0.2;
+  options.duplicate_prob = 0.2;
+  options.reset_prob = 0.1;
+  options.delay_prob = 0.3;
+  options.delay_min_ms = 0.01;
+  options.delay_max_ms = 0.1;
+  options.reorder_prob = 0.2;
+  options.reorder_max_delay_ms = 0.05;
+  FaultTransport transport(options);
+  EXPECT_TRUE(transport.Register(1, Echo()).ok());
+  for (int i = 0; i < 60; ++i) {
+    StatusOr<std::string> response =
+        transport.Call(Msg(1, "op" + std::to_string(i)), StopCondition());
+    // ccdb-lint: allow(status-nodiscard) — only the fault schedule matters
+    // here; individual outcomes are compared via the trace.
+    (void)response;
+  }
+  std::vector<std::string> lines;
+  for (const NetTraceEntry& entry : transport.Trace()) {
+    lines.push_back(entry.ToString());
+  }
+  EXPECT_GT(transport.faults_injected(), 0u);
+  return lines;
+}
+
+TEST(FaultTransportTest, SameSeedReplaysTheExactFaultSchedule) {
+  const std::vector<std::string> a = RunSchedule(77);
+  const std::vector<std::string> b = RunSchedule(77);
+  EXPECT_EQ(a, b);
+  const std::vector<std::string> c = RunSchedule(78);
+  EXPECT_NE(a, c);
+}
+
+TEST(FaultTransportTest, TraceEntryFormat) {
+  NetTraceEntry entry{"predict", kClientNode, 2, true, "drop"};
+  EXPECT_EQ(entry.ToString(), "predict 4294967295->2 FAULT drop");
+  NetTraceEntry clean{"knn", 1, 2, false, ""};
+  EXPECT_EQ(clean.ToString(), "knn 1->2");
+}
+
+// --- FaultTransport: partitions ---------------------------------------------
+
+TEST(FaultTransportTest, PartitionCutsBothDirectionsUntilHealed) {
+  FaultTransport transport(FaultTransportOptions{});
+  std::atomic<int> calls{0};
+  ASSERT_TRUE(transport.Register(1, Echo(&calls)).ok());
+  ASSERT_TRUE(transport.Register(2, Echo(&calls)).ok());
+
+  transport.StartPartition("p", {kClientNode, 1}, {2});
+  EXPECT_TRUE(transport.Partitioned(kClientNode, 2));
+  EXPECT_TRUE(transport.Partitioned(2, 1));
+  EXPECT_FALSE(transport.Partitioned(kClientNode, 1));
+
+  StatusOr<std::string> cut = transport.Call(Msg(2), StopCondition());
+  ASSERT_FALSE(cut.ok());
+  EXPECT_EQ(cut.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(calls.load(), 0);
+  ASSERT_EQ(transport.Trace().size(), 1u);
+  EXPECT_EQ(transport.Trace()[0].fault_kind, "partition");
+
+  // The unpartitioned pair still talks.
+  EXPECT_TRUE(transport.Call(Msg(1), StopCondition()).ok());
+
+  transport.HealPartition("p");
+  EXPECT_FALSE(transport.Partitioned(kClientNode, 2));
+  EXPECT_TRUE(transport.Call(Msg(2), StopCondition()).ok());
+}
+
+TEST(FaultTransportTest, HealPartitionsAtOpHealsMidSchedule) {
+  FaultTransportOptions options;
+  options.heal_partitions_at_op = 3;
+  FaultTransport transport(options);
+  ASSERT_TRUE(transport.Register(1, Echo()).ok());
+  transport.StartPartition("p", {kClientNode}, {1});
+
+  EXPECT_FALSE(transport.Call(Msg(1), StopCondition()).ok());  // op 1
+  EXPECT_FALSE(transport.Call(Msg(1), StopCondition()).ok());  // op 2
+  // Op 3: the partition heals right before delivery.
+  EXPECT_TRUE(transport.Call(Msg(1), StopCondition()).ok());
+  EXPECT_FALSE(transport.Partitioned(kClientNode, 1));
+}
+
+TEST(FaultTransportTest, DecoratesAnExternalBaseTransport) {
+  LocalTransport base;
+  ASSERT_TRUE(base.Register(1, Echo()).ok());
+  FaultTransport transport(FaultTransportOptions{}, &base);
+  StatusOr<std::string> response = transport.Call(Msg(1), StopCondition());
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response.value(), "echo:ping");
+  EXPECT_EQ(transport.ops_observed(), 1u);
+  transport.ClearTrace();
+  EXPECT_TRUE(transport.Trace().empty());
+}
+
+}  // namespace
+}  // namespace ccdb::net

@@ -502,6 +502,32 @@ void CheckRawFileIo(const RuleContext& ctx) {
   }
 }
 
+// --- rule: transport-seam ---------------------------------------------------
+
+void CheckTransportSeam(const RuleContext& ctx) {
+  // Router-side code (src/net plus the sharded router) must reach replicas
+  // through the net::Transport seam only. Calling an ExpansionService or a
+  // shard server directly from there bypasses fault injection, retries,
+  // hedging and health gating — exactly the cross-replica shortcut the
+  // chaos soak could never cover.
+  const bool in_scope = InDir(ctx.rel_path, "src/net/") ||
+                        InDir(ctx.rel_path, "src/core/sharded_");
+  if (!in_scope) return;
+  const std::string_view kBanned[] = {"ExpansionService", "ExpandAttribute",
+                                      "ExpansionShardServer"};
+  for (std::size_t i = 0; i < ctx.code_lines.size(); ++i) {
+    for (std::string_view ident : kBanned) {
+      if (HasIdent(ctx.code_lines[i], ident)) {
+        ctx.Add(static_cast<int>(i + 1), kRuleTransportSeam,
+                std::string("cross-replica work must flow through the "
+                            "net::Transport seam, not reach ") +
+                    std::string(ident) + " directly");
+        break;  // one diagnostic per line
+      }
+    }
+  }
+}
+
 // --- rule: status-nodiscard ---------------------------------------------------
 
 void CheckStatusNodiscard(const RuleContext& ctx) {
@@ -593,7 +619,8 @@ std::vector<std::string> AllRules() {
   return {kRuleStatusNodiscard, kRuleRngSource,
           kRuleRawThread,       kRuleBlockingWait,
           kRuleNoThrow,         kRuleIncludeGuard,
-          kRuleUsingNamespaceHeader, kRuleRawFileIo};
+          kRuleUsingNamespaceHeader, kRuleRawFileIo,
+          kRuleTransportSeam};
 }
 
 std::vector<Finding> LintContents(const std::string& rel_path,
@@ -612,6 +639,7 @@ std::vector<Finding> LintContents(const std::string& rel_path,
   CheckIncludeGuard(ctx);
   CheckUsingNamespaceHeader(ctx);
   CheckRawFileIo(ctx);
+  CheckTransportSeam(ctx);
 
   // An allow() on a line with code suppresses that line; an allow() on a
   // comment-only line suppresses the next line carrying code, so wrapped

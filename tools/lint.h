@@ -37,6 +37,7 @@ inline constexpr const char* kRuleNoThrow = "no-throw";
 inline constexpr const char* kRuleIncludeGuard = "include-guard";
 inline constexpr const char* kRuleUsingNamespaceHeader = "using-namespace-header";
 inline constexpr const char* kRuleRawFileIo = "raw-file-io";
+inline constexpr const char* kRuleTransportSeam = "transport-seam";
 
 /// All rule IDs in a fixed order (for --list-rules and tests).
 std::vector<std::string> AllRules();
