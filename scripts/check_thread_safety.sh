@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Compile-only gate for the annotated lock discipline (DESIGN.md §13):
+# builds the whole tree with clang++ and -Werror=thread-safety, so any
+# GUARDED_BY member touched without its Mutex, any REQUIRES method called
+# unlocked, and any unbalanced ACQUIRE/RELEASE fails the build. There is
+# nothing to run — the analysis is purely static — so no ctest step.
+# Usage: scripts/check_thread_safety.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+command -v clang++ >/dev/null 2>&1 || {
+  echo "check_thread_safety.sh: clang++ not found; thread-safety analysis" \
+       "is Clang-only (GCC compiles the annotations as no-ops)." >&2
+  exit 1
+}
+
+if cmake --preset thread-safety >/dev/null 2>&1; then
+  cmake --build --preset thread-safety -j "$(nproc)"
+else
+  # Older CMake without preset support: configure by hand.
+  cmake -B build-tsa -S . \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_CXX_COMPILER=clang++ \
+    -DCCDB_THREAD_SAFETY_ANALYSIS=ON
+  cmake --build build-tsa -j "$(nproc)"
+fi

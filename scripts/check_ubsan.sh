@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Builds the tree with UndefinedBehaviorSanitizer alone (no ASan) and runs
+# the tier-1 test suite under it. Standalone UBSan is cheap enough to run
+# the full suite and catches arithmetic/alignment/enum UB the combined
+# asan preset can mask behind its first address report; -fno-sanitize-
+# recover=all makes every finding fatal so CI cannot scroll past one.
+# Usage: scripts/check_ubsan.sh [extra ctest args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if cmake --preset ubsan >/dev/null 2>&1; then
+  cmake --build --preset ubsan -j "$(nproc)"
+  ctest --preset ubsan -j "$(nproc)" "$@"
+else
+  # Older CMake without preset support: configure by hand.
+  cmake -B build-ubsan -S . \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_CXX_FLAGS="-fsanitize=undefined -fno-sanitize-recover=all -fno-omit-frame-pointer -O1" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=undefined"
+  cmake --build build-ubsan -j "$(nproc)"
+  ctest --test-dir build-ubsan --output-on-failure -j "$(nproc)" "$@"
+fi

@@ -5,20 +5,23 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
 #include <utility>
+
+#include "common/mutex.h"
 
 namespace ccdb::testing {
 namespace {
 
 struct CrashPointState {
-  std::mutex mutex;
-  bool armed = false;
-  std::string armed_site;
-  std::uint64_t remaining_hits = 0;
-  std::function<void(const std::string&)> trap;
-  bool tracing = false;
-  std::vector<std::string> trace;
+  // Highest rank in the hierarchy: Hit() may fire while durable paths
+  // hold FaultFs/journal locks, and it acquires nothing itself.
+  Mutex mutex{lock_rank::kCrashPoint};
+  bool armed GUARDED_BY(mutex) = false;
+  std::string armed_site GUARDED_BY(mutex);
+  std::uint64_t remaining_hits GUARDED_BY(mutex) = 0;
+  std::function<void(const std::string&)> trap GUARDED_BY(mutex);
+  bool tracing GUARDED_BY(mutex) = false;
+  std::vector<std::string> trace GUARDED_BY(mutex);
 };
 
 CrashPointState& State() {
@@ -29,7 +32,8 @@ CrashPointState& State() {
 /// Fast-path gate: true when arming or tracing makes Hit() do real work.
 std::atomic<bool> g_active{false};
 
-void RefreshActiveLocked(const CrashPointState& state) {
+void RefreshActiveLocked(const CrashPointState& state)
+    REQUIRES(state.mutex) {
   g_active.store(state.armed || state.tracing, std::memory_order_relaxed);
 }
 
@@ -68,7 +72,7 @@ void ArmFromEnvOnce() {
 
 void CrashPoints::Arm(const std::string& site, std::uint64_t hit_count) {
   CrashPointState& state = State();
-  std::lock_guard<std::mutex> lock(state.mutex);
+  MutexLock lock(state.mutex);
   state.armed = true;
   state.armed_site = site;
   state.remaining_hits = hit_count == 0 ? 1 : hit_count;
@@ -77,7 +81,7 @@ void CrashPoints::Arm(const std::string& site, std::uint64_t hit_count) {
 
 void CrashPoints::Disarm() {
   CrashPointState& state = State();
-  std::lock_guard<std::mutex> lock(state.mutex);
+  MutexLock lock(state.mutex);
   state.armed = false;
   state.armed_site.clear();
   state.remaining_hits = 0;
@@ -86,33 +90,33 @@ void CrashPoints::Disarm() {
 
 bool CrashPoints::armed() {
   CrashPointState& state = State();
-  std::lock_guard<std::mutex> lock(state.mutex);
+  MutexLock lock(state.mutex);
   return state.armed;
 }
 
 void CrashPoints::SetTrapHandler(
     std::function<void(const std::string&)> handler) {
   CrashPointState& state = State();
-  std::lock_guard<std::mutex> lock(state.mutex);
+  MutexLock lock(state.mutex);
   state.trap = std::move(handler);
 }
 
 void CrashPoints::EnableTrace(bool enabled) {
   CrashPointState& state = State();
-  std::lock_guard<std::mutex> lock(state.mutex);
+  MutexLock lock(state.mutex);
   state.tracing = enabled;
   RefreshActiveLocked(state);
 }
 
 std::vector<std::string> CrashPoints::Trace() {
   CrashPointState& state = State();
-  std::lock_guard<std::mutex> lock(state.mutex);
+  MutexLock lock(state.mutex);
   return state.trace;
 }
 
 void CrashPoints::ClearTrace() {
   CrashPointState& state = State();
-  std::lock_guard<std::mutex> lock(state.mutex);
+  MutexLock lock(state.mutex);
   state.trace.clear();
 }
 
@@ -124,7 +128,7 @@ void CrashPoints::Hit(const char* site) {
   std::function<void(const std::string&)> trap;
   std::string fired_site;
   {
-    std::lock_guard<std::mutex> lock(state.mutex);
+    MutexLock lock(state.mutex);
     if (state.tracing) state.trace.emplace_back(site);
     if (!state.armed || state.armed_site != site) return;
     if (--state.remaining_hits > 0) return;

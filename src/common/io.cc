@@ -321,7 +321,7 @@ FaultFs::FaultFs(FaultFsOptions options, Fs* base)
 
 bool FaultFs::ShouldFault(const std::string& op, const std::string& path,
                           double prob, const char* kind) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   ++op_count_;
   const bool forced = options_.fault_at_op != 0 &&
                       op_count_ == options_.fault_at_op;
@@ -333,13 +333,13 @@ bool FaultFs::ShouldFault(const std::string& op, const std::string& path,
 
 void FaultFs::RecordOp(const std::string& op, const std::string& path,
                        bool fault, const char* kind) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   trace_.push_back(IoTraceEntry{op, path, fault, fault ? kind : ""});
   if (fault) ++fault_count_;
 }
 
 bool FaultFs::OverWriteBudget(std::uint64_t bytes) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (options_.max_total_write_bytes == 0) {
     bytes_written_ += bytes;
     return false;
@@ -350,7 +350,7 @@ bool FaultFs::OverWriteBudget(std::uint64_t bytes) {
 }
 
 std::uint64_t FaultFs::RandomBelow(std::uint64_t n) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return n == 0 ? 0 : rng_.UniformInt(n);
 }
 
@@ -379,7 +379,7 @@ StatusOr<std::string> FaultFs::ReadFile(const std::string& path) {
   enum class ReadOutcome { kClean, kError, kFlip };
   ReadOutcome outcome = ReadOutcome::kClean;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     ++op_count_;
     if (options_.fault_at_op != 0 && op_count_ == options_.fault_at_op) {
       outcome = ReadOutcome::kFlip;
@@ -451,22 +451,22 @@ Status FaultFs::SyncDirContaining(const std::string& path) {
 }
 
 std::vector<IoTraceEntry> FaultFs::Trace() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return trace_;
 }
 
 std::uint64_t FaultFs::faults_injected() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return fault_count_;
 }
 
 std::uint64_t FaultFs::ops_observed() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return op_count_;
 }
 
 void FaultFs::ClearTrace() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   trace_.clear();
 }
 

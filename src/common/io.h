@@ -3,11 +3,11 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/rng.h"
 #include "common/status.h"
 
@@ -201,12 +201,15 @@ class FaultFs final : public Fs {
   const FaultFsOptions options_;
   Fs& base_;
 
-  mutable std::mutex mutex_;
-  Rng rng_;
-  std::uint64_t op_count_ = 0;
-  std::uint64_t fault_count_ = 0;
-  std::uint64_t bytes_written_ = 0;
-  std::vector<IoTraceEntry> trace_;
+  // Ranked kFaultFs: held while durable paths (journal appends under
+  // ExpansionShardServer::mu_) plan their faults; nothing is acquired
+  // under it.
+  mutable Mutex mutex_{lock_rank::kFaultFs};
+  Rng rng_ GUARDED_BY(mutex_);
+  std::uint64_t op_count_ GUARDED_BY(mutex_) = 0;
+  std::uint64_t fault_count_ GUARDED_BY(mutex_) = 0;
+  std::uint64_t bytes_written_ GUARDED_BY(mutex_) = 0;
+  std::vector<IoTraceEntry> trace_ GUARDED_BY(mutex_);
 };
 
 }  // namespace ccdb

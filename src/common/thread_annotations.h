@@ -1,0 +1,95 @@
+#ifndef CCDB_COMMON_THREAD_ANNOTATIONS_H_
+#define CCDB_COMMON_THREAD_ANNOTATIONS_H_
+
+/// Clang thread-safety-analysis attribute shim.
+///
+/// These macros let the codebase annotate which mutex guards which member
+/// (`GUARDED_BY`), which private methods assume a lock is already held
+/// (`REQUIRES`), and which functions acquire/release capabilities
+/// (`ACQUIRE`/`RELEASE`). Under Clang with `-Wthread-safety` (wired up in
+/// the top-level CMakeLists.txt and the `thread-safety` CI job) an access
+/// that violates an annotation is a compile error. Under GCC and other
+/// compilers every macro expands to nothing, so the annotations are pure
+/// documentation there.
+///
+/// Conventions (DESIGN.md §13):
+///  - every mutable member guarded by a mutex carries GUARDED_BY(mu_);
+///  - private helpers named *Locked carry REQUIRES(mu_);
+///  - NO_THREAD_SAFETY_ANALYSIS is a last resort and must carry a comment
+///    justifying why the analysis cannot see the invariant.
+
+#if defined(__clang__) && !defined(SWIG)
+#define CCDB_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define CCDB_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op off Clang
+#endif
+
+/// Marks a class as a lockable capability (e.g. a mutex wrapper).
+#define CAPABILITY(x) CCDB_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+/// Marks an RAII class whose lifetime holds a capability.
+#define SCOPED_CAPABILITY CCDB_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+/// Declares that a data member is protected by the given capability.
+#define GUARDED_BY(x) CCDB_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+/// Declares that the data pointed to by a pointer member is protected by
+/// the given capability (the pointer itself is not).
+#define PT_GUARDED_BY(x) CCDB_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+/// Declares that callers must hold the capability (exclusively) before
+/// calling the annotated function, and that it is still held on return.
+#define REQUIRES(...) \
+  CCDB_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+/// Shared-mode variant of REQUIRES (read lock held).
+#define REQUIRES_SHARED(...) \
+  CCDB_THREAD_ANNOTATION_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+
+/// The annotated function acquires the capability and holds it on return.
+#define ACQUIRE(...) \
+  CCDB_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+/// Shared-mode variant of ACQUIRE.
+#define ACQUIRE_SHARED(...) \
+  CCDB_THREAD_ANNOTATION_ATTRIBUTE(acquire_shared_capability(__VA_ARGS__))
+
+/// The annotated function releases the capability (held on entry).
+#define RELEASE(...) \
+  CCDB_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+/// Shared-mode variant of RELEASE.
+#define RELEASE_SHARED(...) \
+  CCDB_THREAD_ANNOTATION_ATTRIBUTE(release_shared_capability(__VA_ARGS__))
+
+/// Releases a capability held in either exclusive or shared mode (used by
+/// scoped guards whose destructor does not know the mode).
+#define RELEASE_GENERIC(...) \
+  CCDB_THREAD_ANNOTATION_ATTRIBUTE(release_generic_capability(__VA_ARGS__))
+
+/// The annotated function tries to acquire the capability and reports
+/// success via its return value (first argument is the success value).
+#define TRY_ACQUIRE(...) \
+  CCDB_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+/// Shared-mode variant of TRY_ACQUIRE.
+#define TRY_ACQUIRE_SHARED(...) \
+  CCDB_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_shared_capability(__VA_ARGS__))
+
+/// Callers must NOT hold the capability when calling (deadlock guard for
+/// public methods that lock internally).
+#define EXCLUDES(...) CCDB_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+/// Asserts at runtime that the capability is held (analysis trusts it).
+#define ASSERT_CAPABILITY(x) \
+  CCDB_THREAD_ANNOTATION_ATTRIBUTE(assert_capability(x))
+
+/// The annotated function returns a reference to the named capability.
+#define RETURN_CAPABILITY(x) CCDB_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+/// Turns the analysis off for one function. Every use must carry a comment
+/// explaining why the invariant is real but invisible to the analysis.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  CCDB_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+#endif  // CCDB_COMMON_THREAD_ANNOTATIONS_H_

@@ -18,45 +18,45 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     shutting_down_ = true;
   }
-  task_available_.notify_all();
+  task_available_.SignalAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   CCDB_CHECK(task != nullptr);
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     CCDB_CHECK(!shutting_down_);
     tasks_.push(std::move(task));
     ++in_flight_;
   }
-  task_available_.notify_one();
+  task_available_.Signal();
 }
 
 bool ThreadPool::TryEnqueue(std::function<void()> task,
                             std::size_t max_queued) {
   CCDB_CHECK(task != nullptr);
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (shutting_down_ || tasks_.size() >= max_queued) return false;
     tasks_.push(std::move(task));
     ++in_flight_;
   }
-  task_available_.notify_one();
+  task_available_.Signal();
   return true;
 }
 
 std::size_t ThreadPool::QueuedTasks() const {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return tasks_.size();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(mutex_);
+  while (in_flight_ != 0) all_done_.Wait(mutex_);
 }
 
 void ThreadPool::ParallelFor(std::size_t begin, std::size_t end,
@@ -67,18 +67,21 @@ void ThreadPool::ParallelFor(std::size_t begin, std::size_t end,
   const std::size_t chunk_size = (total + chunks - 1) / chunks;
   // Per-call completion latch (not pool-wide Wait()): concurrent
   // ParallelFor callers sharing one pool must not block on each other's
-  // unrelated tasks.
+  // unrelated tasks. Unranked leaf lock: nothing is ever acquired under it.
   struct Latch {
-    std::mutex mutex;
-    std::condition_variable done;
-    std::size_t remaining = 0;
+    Mutex mutex;
+    CondVar done;
+    std::size_t remaining GUARDED_BY(mutex) = 0;
   } latch;
   std::size_t submitted = 0;
   for (std::size_t c = 0; c < chunks; ++c) {
     if (begin + c * chunk_size >= end) break;
     ++submitted;
   }
-  latch.remaining = submitted;
+  {
+    MutexLock lock(latch.mutex);
+    latch.remaining = submitted;
+  }
   for (std::size_t c = 0; c < submitted; ++c) {
     const std::size_t lo = begin + c * chunk_size;
     const std::size_t hi = std::min(end, lo + chunk_size);
@@ -86,13 +89,13 @@ void ThreadPool::ParallelFor(std::size_t begin, std::size_t end,
       for (std::size_t i = lo; i < hi; ++i) body(i);
       // Notify under the lock: the waiter owns the latch and may destroy
       // it the moment `remaining` reaches zero and the mutex is released.
-      std::unique_lock<std::mutex> lock(latch.mutex);
+      MutexLock lock(latch.mutex);
       --latch.remaining;
-      latch.done.notify_one();
+      latch.done.Signal();
     });
   }
-  std::unique_lock<std::mutex> lock(latch.mutex);
-  latch.done.wait(lock, [&latch] { return latch.remaining == 0; });
+  MutexLock lock(latch.mutex);
+  while (latch.remaining != 0) latch.done.Wait(latch.mutex);
 }
 
 ThreadPool& SharedThreadPool() {
@@ -106,9 +109,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      task_available_.wait(
-          lock, [this] { return shutting_down_ || !tasks_.empty(); });
+      MutexLock lock(mutex_);
+      while (!shutting_down_ && tasks_.empty()) task_available_.Wait(mutex_);
       if (tasks_.empty()) {
         if (shutting_down_) return;
         continue;
@@ -118,9 +120,9 @@ void ThreadPool::WorkerLoop() {
     }
     task();
     {
-      std::unique_lock<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       --in_flight_;
-      if (in_flight_ == 0) all_done_.notify_all();
+      if (in_flight_ == 0) all_done_.SignalAll();
     }
   }
 }

@@ -1,13 +1,13 @@
 #ifndef CCDB_COMMON_THREAD_POOL_H_
 #define CCDB_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
 
 namespace ccdb {
 
@@ -37,7 +37,7 @@ class ThreadPool {
   std::size_t num_threads() const { return workers_.size(); }
 
   /// Enqueues a task for asynchronous execution.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) EXCLUDES(mutex_);
 
   /// Bounded-queue variant: enqueues only when fewer than `max_queued`
   /// tasks are waiting for a worker (tasks already running do not count).
@@ -45,30 +45,37 @@ class ThreadPool {
   /// pool is shutting down. This is the admission-control primitive: a
   /// caller that gets false sheds the request instead of queueing
   /// unbounded work.
-  bool TryEnqueue(std::function<void()> task, std::size_t max_queued);
+  bool TryEnqueue(std::function<void()> task, std::size_t max_queued)
+      EXCLUDES(mutex_);
 
   /// Tasks currently waiting for a worker (diagnostic; racy by nature).
-  std::size_t QueuedTasks() const;
+  std::size_t QueuedTasks() const EXCLUDES(mutex_);
 
   /// Blocks until every submitted task has finished.
-  void Wait();
+  void Wait() EXCLUDES(mutex_);
 
   /// Runs body(i) for i in [begin, end), partitioned into contiguous chunks
   /// across the pool, and blocks until complete. body must be thread-safe
   /// across distinct indices.
   void ParallelFor(std::size_t begin, std::size_t end,
-                   const std::function<void(std::size_t)>& body);
+                   const std::function<void(std::size_t)>& body)
+      EXCLUDES(mutex_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mutex_);
 
+  // Written once in the constructor before any worker can observe them;
+  // read-only afterwards (num_threads(), join in the destructor).
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  mutable std::mutex mutex_;
-  std::condition_variable task_available_;
-  std::condition_variable all_done_;
-  std::size_t in_flight_ = 0;
-  bool shutting_down_ = false;
+
+  // Ranked kThreadPool: ExpansionService holds its service mutex (rank
+  // kExpansionService) across the TryEnqueue admission check.
+  mutable Mutex mutex_{lock_rank::kThreadPool};
+  CondVar task_available_;
+  CondVar all_done_;
+  std::queue<std::function<void()>> tasks_ GUARDED_BY(mutex_);
+  std::size_t in_flight_ GUARDED_BY(mutex_) = 0;
+  bool shutting_down_ GUARDED_BY(mutex_) = false;
 };
 
 /// Process-wide pool shared by the batch numeric paths (SVM batch

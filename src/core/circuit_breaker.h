@@ -30,6 +30,9 @@ struct CircuitBreakerOptions {
 /// Deliberately NOT thread-safe: callers already serialize admission under
 /// their own mutex, and the probe handshake (TryAdmit -> enqueue ->
 /// OnProbeAdmitted) must be atomic with respect to that lock anyway.
+/// Owners annotate that contract where the compiler can see it — their
+/// breaker member is GUARDED_BY the owning mutex (DESIGN.md §13), e.g.
+/// ExpansionService::breaker_ and ShardedExpansionService::health_.
 class CircuitBreaker {
  public:
   explicit CircuitBreaker(CircuitBreakerOptions options = {});

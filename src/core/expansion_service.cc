@@ -27,7 +27,7 @@ struct ExpansionService::Ticket::Flight {
   std::size_t waiters = 0;
   bool done = false;
   SchemaExpansionResult result;
-  std::condition_variable cv;
+  CondVar cv;
 };
 
 // ExpansionJobFingerprint lives in expansion_wire.cc, next to the expand
@@ -71,7 +71,7 @@ ExpansionService::Ticket::~Ticket() { Abandon(); }
 
 void ExpansionService::Ticket::Abandon() {
   if (resolved_ || flight_ == nullptr) return;
-  std::lock_guard<std::mutex> lock(service_->mu_);
+  MutexLock lock(service_->mu_);
   resolved_ = true;
   if (--flight_->waiters == 0 && !flight_->done) {
     // Nobody wants this result anymore: stop the pipeline before it
@@ -82,7 +82,7 @@ void ExpansionService::Ticket::Abandon() {
 
 SchemaExpansionResult ExpansionService::Ticket::Wait() {
   if (resolved_ || flight_ == nullptr) return result_;
-  std::unique_lock<std::mutex> lock(service_->mu_);
+  MutexLock lock(service_->mu_);
   for (;;) {
     if (flight_->done) {
       result_ = flight_->result;
@@ -102,7 +102,7 @@ SchemaExpansionResult ExpansionService::Ticket::Wait() {
     // Polling wait: StopCondition carries no waitable handle, and the
     // flight signals `cv` on completion — 2 ms bounds the stop-detection
     // latency without burning a core.
-    flight_->cv.wait_for(lock, std::chrono::milliseconds(2));
+    flight_->cv.WaitFor(service_->mu_, 0.002);
   }
 }
 
@@ -125,7 +125,7 @@ ExpansionService::ExpansionService(const PerceptualSpace& space,
 
 ExpansionService::~ExpansionService() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutting_down_ = true;
     for (auto& [key, flight] : inflight_) flight->cancel.Cancel();
   }
@@ -143,7 +143,7 @@ StatusOr<ExpansionService::Ticket> ExpansionService::ExpandAttribute(
   const Deadline waiter_deadline = Deadline::AfterSeconds(budget);
   const StopCondition waiter_stop(job.cancel, waiter_deadline);
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++stats_.submitted;
   if (shutting_down_) {
     ++stats_.shed;
@@ -221,7 +221,7 @@ void ExpansionService::RunFlight(const std::shared_ptr<Flight>& flight) {
   SchemaExpansionResult result = ExpandSchemaResilient(
       space_, request, pool_, job.hit_config, job.sample_truth, expansion);
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++stats_.expansions_run;
   stats_.crowd_dollars_spent += result.crowd_dollars;
   flight->result = std::move(result);
@@ -247,8 +247,8 @@ void ExpansionService::FinishFlightLocked(Flight& flight, Status status) {
   flight.done = true;
   inflight_.erase(flight.key);
   --active_flights_;
-  flight.cv.notify_all();
-  drain_cv_.notify_all();
+  flight.cv.SignalAll();
+  drain_cv_.SignalAll();
 }
 
 void ExpansionService::UpdateBreakerLocked(const Flight& flight,
@@ -267,15 +267,15 @@ void ExpansionService::UpdateBreakerLocked(const Flight& flight,
 }
 
 void ExpansionService::Drain() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // ccdb-lint: allow(blocking-wait) — Drain() is the shutdown barrier: every
   // flight carries a deadline, so the predicate is bounded by the slowest
   // in-flight job.
-  drain_cv_.wait(lock, [this] { return active_flights_ == 0; });
+  while (active_flights_ != 0) drain_cv_.Wait(mu_);
 }
 
 ServiceStats ExpansionService::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ServiceStats stats = stats_;
   stats.breaker_trips = breaker_.trips();
   stats.breaker_probes = breaker_.probes();
@@ -284,7 +284,7 @@ ServiceStats ExpansionService::stats() const {
 }
 
 BreakerState ExpansionService::breaker_state() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return breaker_.state();
 }
 

@@ -1,18 +1,17 @@
 #ifndef CCDB_CORE_EXPANSION_SERVICE_H_
 #define CCDB_CORE_EXPANSION_SERVICE_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <limits>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/cancellation.h"
 #include "common/deadline.h"
+#include "common/mutex.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "core/circuit_breaker.h"
@@ -128,13 +127,14 @@ class ExpansionService {
   /// On success the returned Ticket tracks the (possibly shared) flight;
   /// expansion-level failures are reported through the result's `status`,
   /// not here.
-  [[nodiscard]] StatusOr<Ticket> ExpandAttribute(ExpansionJob job);
+  [[nodiscard]] StatusOr<Ticket> ExpandAttribute(ExpansionJob job)
+      EXCLUDES(mu_);
 
   /// Blocks until no admitted flight is outstanding.
-  void Drain();
+  void Drain() EXCLUDES(mu_);
 
-  ServiceStats stats() const;
-  BreakerState breaker_state() const;
+  ServiceStats stats() const EXCLUDES(mu_);
+  BreakerState breaker_state() const EXCLUDES(mu_);
 
   /// Handle on one submitted job. Wait() blocks until the underlying
   /// flight finishes or this waiter's own stop (its job's token /
@@ -174,22 +174,28 @@ class ExpansionService {
  private:
   using Flight = Ticket::Flight;
 
-  void RunFlight(const std::shared_ptr<Flight>& flight);
-  void FinishFlightLocked(Flight& flight, Status status);
-  void UpdateBreakerLocked(const Flight& flight, const Status& status);
+  void RunFlight(const std::shared_ptr<Flight>& flight) EXCLUDES(mu_);
+  void FinishFlightLocked(Flight& flight, Status status) REQUIRES(mu_);
+  void UpdateBreakerLocked(const Flight& flight, const Status& status)
+      REQUIRES(mu_);
 
   const PerceptualSpace& space_;
   const crowd::WorkerPool pool_;
   const ExpansionServiceOptions options_;
 
-  mutable std::mutex mu_;
-  std::condition_variable drain_cv_;
+  // Ranked kExpansionService: held across the TryEnqueue admission check,
+  // which acquires ThreadPool::mutex_ (rank kThreadPool) under it.
+  mutable Mutex mu_{lock_rank::kExpansionService};
+  CondVar drain_cv_;
   /// Single-flight table: job fingerprint -> live flight.
-  std::unordered_map<std::uint64_t, std::shared_ptr<Flight>> inflight_;
-  ServiceStats stats_;
-  CircuitBreaker breaker_;
-  std::size_t active_flights_ = 0;
-  bool shutting_down_ = false;
+  std::unordered_map<std::uint64_t, std::shared_ptr<Flight>> inflight_
+      GUARDED_BY(mu_);
+  ServiceStats stats_ GUARDED_BY(mu_);
+  /// CircuitBreaker is deliberately not internally synchronized — this
+  /// mutex is the lock its contract requires callers to hold.
+  CircuitBreaker breaker_ GUARDED_BY(mu_);
+  std::size_t active_flights_ GUARDED_BY(mu_) = 0;
+  bool shutting_down_ GUARDED_BY(mu_) = false;
 
   /// Declared last: destroyed (drained + joined) first, while the state
   /// its tasks touch is still alive.

@@ -54,7 +54,7 @@ ExpansionShardServer::~ExpansionShardServer() { Stop(); }
 
 Status ExpansionShardServer::Start() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (started_) {
       return Status::FailedPrecondition("shard server already started");
     }
@@ -79,14 +79,14 @@ Status ExpansionShardServer::Start() {
   Status registered = transport_.Register(
       node_, [this](const net::Message& message) { return Handle(message); });
   if (!registered.ok()) return registered;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   started_ = true;
   return Status::Ok();
 }
 
 void ExpansionShardServer::Stop() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!started_) return;
     started_ = false;
   }
@@ -95,7 +95,7 @@ void ExpansionShardServer::Stop() {
 }
 
 ShardServerStats ExpansionShardServer::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 
@@ -106,13 +106,13 @@ ServiceStats ExpansionShardServer::service_stats() const {
 StatusOr<std::string> ExpansionShardServer::Handle(
     const net::Message& message) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++stats_.requests;
   }
   if (message.method == "predict") return HandlePredict(message);
   if (message.method == "knn") return HandleKnn(message);
   if (message.method == "expand") return HandleExpand(message);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++stats_.invalid_requests;
   return Status::InvalidArgument("unknown shard method: " + message.method);
 }
@@ -121,18 +121,18 @@ StatusOr<std::string> ExpansionShardServer::HandlePredict(
     const net::Message& message) {
   StatusOr<PredictRequest> request_or = DecodePredictRequest(message.payload);
   if (!request_or.ok()) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++stats_.invalid_requests;
     return request_or.status();
   }
   const PredictRequest request = std::move(request_or).value();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++stats_.predicts;
   }
   for (std::uint32_t item : request.items) {
     if (item >= space_.num_items()) {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       ++stats_.invalid_requests;
       return Status::InvalidArgument("predict item outside the space");
     }
@@ -156,17 +156,17 @@ StatusOr<std::string> ExpansionShardServer::HandleKnn(
     const net::Message& message) {
   StatusOr<KnnRequest> request_or = DecodeKnnRequest(message.payload);
   if (!request_or.ok()) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++stats_.invalid_requests;
     return request_or.status();
   }
   const KnnRequest request = std::move(request_or).value();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++stats_.knns;
   }
   if (request.item >= space_.num_items()) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++stats_.invalid_requests;
     return Status::InvalidArgument("knn query item outside the space");
   }
@@ -197,14 +197,14 @@ StatusOr<std::string> ExpansionShardServer::HandleExpand(
     const net::Message& message) {
   StatusOr<ExpansionJob> job_or = DecodeExpandRequest(message.payload);
   if (!job_or.ok()) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++stats_.invalid_requests;
     return job_or.status();
   }
   ExpansionJob job = std::move(job_or).value();
   const std::uint64_t fingerprint = ExpansionJobFingerprint(job);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++stats_.expands;
     // Idempotency: a re-delivery (retry, hedge, duplicate, resend after a
     // reset) of an already-finished job is answered from the cache — the
@@ -222,11 +222,13 @@ StatusOr<std::string> ExpansionShardServer::HandleExpand(
       service_.ExpandAttribute(std::move(job));
   if (!ticket_or.ok()) return ticket_or.status();
   ExpandResponse response;
+  // ccdb-lint: allow(blocking-wait) — the ticket's flight carries the
+  // job's own deadline; Wait() is bounded by it.
   response.result = ticket_or.value().Wait();
 
   std::string encoded = EncodeExpandResponse(response);
   if (CacheableOutcome(response.result.status)) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     // First writer wins; a concurrent duplicate that finished the shared
     // flight just before us inserted the identical bytes anyway.
     auto [it, inserted] = results_.emplace(fingerprint, encoded);

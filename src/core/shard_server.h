@@ -2,13 +2,13 @@
 #define CCDB_CORE_SHARD_SERVER_H_
 
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 
 #include "common/io.h"
 #include "common/journal.h"
+#include "common/mutex.h"
 #include "common/status.h"
 #include "core/consistent_ring.h"
 #include "core/expansion_service.h"
@@ -108,15 +108,20 @@ class ExpansionShardServer {
   net::Transport& transport_;
   const ShardServerOptions options_;
 
-  mutable std::mutex mu_;
-  bool started_ = false;
-  ShardServerStats stats_;
+  // Ranked kShardServer: held while the result journal appends through
+  // the (higher-ranked) FaultFs lock, and while the embedded service is
+  // not locked — service calls happen outside this mutex.
+  mutable Mutex mu_{lock_rank::kShardServer};
+  bool started_ GUARDED_BY(mu_) = false;
+  ShardServerStats stats_ GUARDED_BY(mu_);
   /// Fingerprint -> encoded ExpandResponse of every finished expansion
   /// with a deterministic outcome. First writer wins.
-  std::unordered_map<std::uint64_t, std::string> results_;
-  std::optional<JournalWriter> journal_;
+  std::unordered_map<std::uint64_t, std::string> results_ GUARDED_BY(mu_);
+  std::optional<JournalWriter> journal_ GUARDED_BY(mu_);
 
   /// Declared last so in-flight handler state outlives nothing it uses.
+  /// ccdb-lint: allow(unguarded-member) — ExpansionService is internally
+  /// synchronized (its own mu_); handlers call it without holding mu_.
   ExpansionService service_;
 };
 

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
-#include <condition_variable>
 #include <utility>
 
 #include "common/check.h"
@@ -27,13 +26,15 @@ bool RetryableCode(StatusCode code) {
 /// an optional hedge race to fill it; the first Ok response wins and the
 /// loser is counted as a duplicate.
 struct ShardedExpansionService::CallState {
-  std::mutex mu;
-  std::condition_variable cv;
-  std::size_t outstanding = 0;
-  bool has_ok = false;
-  bool ok_from_hedge = false;
-  std::string ok_payload;
-  Status last_error = Status::Unavailable("no attempt ran");
+  // Unranked leaf lock: one attempt's result slot; nothing is acquired
+  // under it.
+  Mutex mu;
+  CondVar cv;
+  std::size_t outstanding GUARDED_BY(mu) = 0;
+  bool has_ok GUARDED_BY(mu) = false;
+  bool ok_from_hedge GUARDED_BY(mu) = false;
+  std::string ok_payload GUARDED_BY(mu);
+  Status last_error GUARDED_BY(mu) = Status::Unavailable("no attempt ran");
 };
 
 ShardedExpansionService::ShardedExpansionService(
@@ -60,17 +61,19 @@ ShardedExpansionService::ShardedExpansionService(
 ShardedExpansionService::~ShardedExpansionService() = default;
 
 ShardedServiceStats ShardedExpansionService::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 
 BreakerState ShardedExpansionService::shard_health(std::uint32_t shard) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return health_[shard].state();
 }
 
 double ShardedExpansionService::HedgeDelayMs() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  // Read-mostly: every attempt computes the quantile, only completed
+  // calls write samples, so concurrent readers share the lock.
+  ReaderLock lock(latency_mu_);
   if (latency_samples_.empty()) return options_.hedge_max_delay_ms;
   std::vector<double> sorted = latency_samples_;
   std::sort(sorted.begin(), sorted.end());
@@ -84,7 +87,7 @@ double ShardedExpansionService::HedgeDelayMs() const {
 }
 
 void ShardedExpansionService::RecordLatencyMs(double ms) {
-  std::lock_guard<std::mutex> lock(mu_);
+  WriterLock lock(latency_mu_);
   if (latency_samples_.size() < kLatencyWindow) {
     latency_samples_.push_back(ms);
   } else {
@@ -124,11 +127,11 @@ void ShardedExpansionService::LaunchAttempt(
     const std::string& payload, const StopCondition& attempt_stop,
     const std::shared_ptr<CallState>& state, bool is_hedge) {
   {
-    std::lock_guard<std::mutex> lock(state->mu);
+    MutexLock lock(state->mu);
     ++state->outstanding;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++stats_.attempts;
     if (is_hedge) ++stats_.hedges_fired;
   }
@@ -149,7 +152,7 @@ void ShardedExpansionService::LaunchAttempt(
     }
     bool duplicate = false;
     {
-      std::lock_guard<std::mutex> lock(state->mu);
+      MutexLock lock(state->mu);
       --state->outstanding;
       if (response.ok()) {
         if (!state->has_ok) {
@@ -164,9 +167,9 @@ void ShardedExpansionService::LaunchAttempt(
       } else {
         state->last_error = response.status();
       }
-      state->cv.notify_all();
+      state->cv.SignalAll();
     }
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (duplicate) ++stats_.duplicate_responses;
     if (!response.ok()) ++stats_.transport_errors;
   });
@@ -179,7 +182,7 @@ StatusOr<std::string> ShardedExpansionService::CallShard(
   // for the breaker cooldown, then probed with a single logical call.
   bool is_probe = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     switch (health_[shard].TryAdmit()) {
       case CircuitBreaker::Admission::kReject:
         ++stats_.breaker_skipped;
@@ -207,7 +210,7 @@ StatusOr<std::string> ShardedExpansionService::CallShard(
           std::pow(options_.retry_backoff_factor,
                    static_cast<double>(attempt - 2));
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         ++stats_.retries;
         if (options_.retry_jitter_fraction > 0.0) {
           backoff_ms *= 1.0 + options_.retry_jitter_fraction *
@@ -242,33 +245,41 @@ StatusOr<std::string> ShardedExpansionService::CallShard(
         std::chrono::duration_cast<std::chrono::steady_clock::duration>(
             std::chrono::duration<double, std::milli>(hedge_delay_ms));
     bool hedge_launched = false;
-    std::unique_lock<std::mutex> lock(state->mu);
-    for (;;) {
-      if (state->has_ok || state->outstanding == 0) break;
-      if (options_.hedging && !hedge_launched &&
-          std::chrono::steady_clock::now() >= hedge_at &&
-          !attempt_stop.ShouldStop()) {
-        // The primary is now slower than the tracked latency quantile:
-        // fire the hedge at the same shard. Idempotent request ids make
-        // the duplicate harmless server-side; first answer wins here.
-        hedge_launched = true;
-        lock.unlock();
+    bool attempt_ok = false;
+    bool attempt_settled = false;
+    while (!attempt_settled) {
+      bool launch_hedge_now = false;
+      {
+        MutexLock lock(state->mu);
+        if (state->has_ok) {
+          ok_payload = std::move(state->ok_payload);
+          ok_from_hedge = state->ok_from_hedge;
+          attempt_ok = true;
+          attempt_settled = true;
+        } else if (state->outstanding == 0) {
+          final_status = state->last_error;
+          attempt_settled = true;
+        } else if (options_.hedging && !hedge_launched &&
+                   std::chrono::steady_clock::now() >= hedge_at &&
+                   !attempt_stop.ShouldStop()) {
+          // The primary is now slower than the tracked latency quantile:
+          // fire the hedge at the same shard. Idempotent request ids make
+          // the duplicate harmless server-side; first answer wins here.
+          // The launch itself happens below, outside the state lock.
+          hedge_launched = true;
+          launch_hedge_now = true;
+        } else {
+          // Polling wait (2 ms bounds stop-detection latency;
+          // StopCondition carries no waitable handle).
+          state->cv.WaitFor(state->mu, 0.002);
+        }
+      }
+      if (launch_hedge_now) {
         LaunchAttempt(shard, method, request_id, payload, attempt_stop,
                       state, /*is_hedge=*/true);
-        lock.lock();
-        continue;
       }
-      // Polling wait (2 ms bounds stop-detection latency; StopCondition
-      // carries no waitable handle).
-      state->cv.wait_for(lock, std::chrono::milliseconds(2));
     }
-    if (state->has_ok) {
-      ok_payload = std::move(state->ok_payload);
-      ok_from_hedge = state->ok_from_hedge;
-      break;
-    }
-    final_status = state->last_error;
-    lock.unlock();
+    if (attempt_ok) break;
     if (!RetryableCode(final_status.code())) break;
   }
 
@@ -286,7 +297,7 @@ StatusOr<std::string> ShardedExpansionService::CallShard(
     outcome = CircuitBreaker::Outcome::kSuccess;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     health_[shard].Record(outcome, is_probe);
     if (ok_payload.has_value() && ok_from_hedge) ++stats_.hedge_wins;
   }
@@ -298,7 +309,7 @@ ShardedPredictResult ShardedExpansionService::Predict(
     const PredictRequest& request, double deadline_seconds,
     const StopCondition& stop) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++stats_.requests;
   }
   ShardedPredictResult out;
@@ -307,7 +318,7 @@ ShardedPredictResult ShardedExpansionService::Predict(
   StopCondition overall;
   Status shed_status;
   if (!AdmitRequest(deadline_seconds, stop, &overall, &shed_status)) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++stats_.shed_expired;
     out.status = shed_status;
     return out;
@@ -319,15 +330,20 @@ ShardedPredictResult ShardedExpansionService::Predict(
     positions[ring_.OwnerOfItem(request.items[i])].push_back(i);
   }
 
+  // Unranked leaf lock: per-request scatter/gather slot; nothing is
+  // acquired under it.
   struct Gather {
-    std::mutex mu;
-    std::condition_variable cv;
-    std::size_t outstanding = 0;
-    std::size_t answered_shards = 0;
-    std::vector<std::optional<bool>> values;
+    Mutex mu;
+    CondVar cv;
+    std::size_t outstanding GUARDED_BY(mu) = 0;
+    std::size_t answered_shards GUARDED_BY(mu) = 0;
+    std::vector<std::optional<bool>> values GUARDED_BY(mu);
   };
   auto gather = std::make_shared<Gather>();
-  gather->values.assign(request.items.size(), std::nullopt);
+  {
+    MutexLock lock(gather->mu);
+    gather->values.assign(request.items.size(), std::nullopt);
+  }
 
   for (std::uint32_t shard = 0; shard < ring_.num_shards(); ++shard) {
     if (positions[shard].empty()) continue;
@@ -343,7 +359,7 @@ ShardedPredictResult ShardedExpansionService::Predict(
     std::string payload = EncodePredictRequest(sub);
     const std::uint64_t request_id = HashBytes(payload);
     {
-      std::lock_guard<std::mutex> lock(gather->mu);
+      MutexLock lock(gather->mu);
       ++gather->outstanding;
     }
     std::vector<std::size_t> shard_positions = positions[shard];
@@ -353,7 +369,7 @@ ShardedPredictResult ShardedExpansionService::Predict(
                          gather, overall] {
       StatusOr<std::string> response =
           CallShard(shard, "predict", request_id, payload, overall);
-      std::lock_guard<std::mutex> lock(gather->mu);
+      MutexLock lock(gather->mu);
       if (response.ok()) {
         StatusOr<PredictResponse> decoded =
             DecodePredictResponse(response.value());
@@ -366,16 +382,16 @@ ShardedPredictResult ShardedExpansionService::Predict(
         }
       }
       --gather->outstanding;
-      gather->cv.notify_all();
+      gather->cv.SignalAll();
     });
   }
 
   {
-    std::unique_lock<std::mutex> lock(gather->mu);
+    MutexLock lock(gather->mu);
     while (gather->outstanding > 0) {
       // Polling wait: leaf calls observe `overall` themselves, so this
       // drains within the request budget.
-      gather->cv.wait_for(lock, std::chrono::milliseconds(2));
+      gather->cv.WaitFor(gather->mu, 0.002);
     }
     out.values = std::move(gather->values);
     out.shards_answered = gather->answered_shards;
@@ -390,7 +406,7 @@ ShardedPredictResult ShardedExpansionService::Predict(
                      : static_cast<double>(answered_items) /
                            static_cast<double>(request.items.size());
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (answered_items == request.items.size()) {
     out.status = Status::Ok();
     ++stats_.completed;
@@ -415,7 +431,7 @@ ShardedKnnResult ShardedExpansionService::Knn(std::uint32_t item,
                                               double deadline_seconds,
                                               const StopCondition& stop) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++stats_.requests;
   }
   ShardedKnnResult out;
@@ -424,7 +440,7 @@ ShardedKnnResult ShardedExpansionService::Knn(std::uint32_t item,
   StopCondition overall;
   Status shed_status;
   if (!AdmitRequest(deadline_seconds, stop, &overall, &shed_status)) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++stats_.shed_expired;
     out.status = shed_status;
     return out;
@@ -433,19 +449,24 @@ ShardedKnnResult ShardedExpansionService::Knn(std::uint32_t item,
   const std::string payload = EncodeKnnRequest(KnnRequest{item, k});
   const std::uint64_t base_id = HashBytes(payload);
 
+  // Unranked leaf lock: per-request scatter/gather slot; nothing is
+  // acquired under it.
   struct Gather {
-    std::mutex mu;
-    std::condition_variable cv;
-    std::size_t outstanding = 0;
-    std::vector<bool> answered;
-    std::vector<KnnNeighbor> merged;
+    Mutex mu;
+    CondVar cv;
+    std::size_t outstanding GUARDED_BY(mu) = 0;
+    std::vector<bool> answered GUARDED_BY(mu);
+    std::vector<KnnNeighbor> merged GUARDED_BY(mu);
   };
   auto gather = std::make_shared<Gather>();
-  gather->answered.assign(ring_.num_shards(), false);
+  {
+    MutexLock lock(gather->mu);
+    gather->answered.assign(ring_.num_shards(), false);
+  }
 
   for (std::uint32_t shard = 0; shard < ring_.num_shards(); ++shard) {
     {
-      std::lock_guard<std::mutex> lock(gather->mu);
+      MutexLock lock(gather->mu);
       ++gather->outstanding;
     }
     // Distinct id per shard: the same bytes go to every shard, but each
@@ -454,7 +475,7 @@ ShardedKnnResult ShardedExpansionService::Knn(std::uint32_t item,
     fanout_pool_.Submit([this, shard, payload, request_id, gather, overall] {
       StatusOr<std::string> response =
           CallShard(shard, "knn", request_id, payload, overall);
-      std::lock_guard<std::mutex> lock(gather->mu);
+      MutexLock lock(gather->mu);
       if (response.ok()) {
         StatusOr<KnnResponse> decoded = DecodeKnnResponse(response.value());
         if (decoded.ok()) {
@@ -465,15 +486,15 @@ ShardedKnnResult ShardedExpansionService::Knn(std::uint32_t item,
         }
       }
       --gather->outstanding;
-      gather->cv.notify_all();
+      gather->cv.SignalAll();
     });
   }
 
   std::size_t answered_shards = 0;
   {
-    std::unique_lock<std::mutex> lock(gather->mu);
+    MutexLock lock(gather->mu);
     while (gather->outstanding > 0) {
-      gather->cv.wait_for(lock, std::chrono::milliseconds(2));
+      gather->cv.WaitFor(gather->mu, 0.002);
     }
     out.shard_answered = gather->answered;
     out.neighbors = std::move(gather->merged);
@@ -491,7 +512,7 @@ ShardedKnnResult ShardedExpansionService::Knn(std::uint32_t item,
   out.coverage = static_cast<double>(answered_shards) /
                  static_cast<double>(ring_.num_shards());
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (answered_shards == ring_.num_shards()) {
     out.status = Status::Ok();
     ++stats_.completed;
@@ -511,7 +532,7 @@ ShardedKnnResult ShardedExpansionService::Knn(std::uint32_t item,
 ShardedExpandResult ShardedExpansionService::Expand(ExpansionJob job,
                                                     const StopCondition& stop) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++stats_.requests;
   }
   ShardedExpandResult out;
@@ -525,7 +546,7 @@ ShardedExpandResult ShardedExpansionService::Expand(ExpansionJob job,
   StopCondition overall;
   Status shed_status;
   if (!AdmitRequest(job.deadline_seconds, base, &overall, &shed_status)) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++stats_.shed_expired;
     out.status = shed_status;
     return out;
@@ -540,7 +561,7 @@ ShardedExpandResult ShardedExpansionService::Expand(ExpansionJob job,
   // duplicate of this job lands in the owner shard's idempotency cache.
   StatusOr<std::string> response =
       CallShard(shard, "expand", fingerprint, payload, overall);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!response.ok()) {
     out.status = response.status();
     ++stats_.failed;

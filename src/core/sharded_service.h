@@ -4,12 +4,12 @@
 #include <cstdint>
 #include <limits>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "common/cancellation.h"
+#include "common/mutex.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
@@ -157,22 +157,23 @@ class ShardedExpansionService {
   /// DeadlineExceeded and zero transport traffic).
   ShardedPredictResult Predict(const PredictRequest& request,
                                double deadline_seconds = 0.0,
-                               const StopCondition& stop = {});
+                               const StopCondition& stop = {}) EXCLUDES(mu_);
 
   /// Global k nearest neighbours of `item`, merged from every shard's
   /// owned-item top-k.
   ShardedKnnResult Knn(std::uint32_t item, std::uint32_t k,
                        double deadline_seconds = 0.0,
-                       const StopCondition& stop = {});
+                       const StopCondition& stop = {}) EXCLUDES(mu_);
 
   /// Routes a full expansion job to the shard owning its fingerprint.
   /// The fingerprint doubles as the request id, so retries, hedges and
   /// transport duplicates all hit the shard's idempotency cache — crowd
   /// dollars are spent exactly once per distinct job.
-  ShardedExpandResult Expand(ExpansionJob job, const StopCondition& stop = {});
+  ShardedExpandResult Expand(ExpansionJob job, const StopCondition& stop = {})
+      EXCLUDES(mu_);
 
-  ShardedServiceStats stats() const;
-  BreakerState shard_health(std::uint32_t shard) const;
+  ShardedServiceStats stats() const EXCLUDES(mu_);
+  BreakerState shard_health(std::uint32_t shard) const EXCLUDES(mu_);
   const ConsistentRing& ring() const { return ring_; }
 
  private:
@@ -183,13 +184,14 @@ class ShardedExpansionService {
                                   const std::string& method,
                                   std::uint64_t request_id,
                                   const std::string& payload,
-                                  const StopCondition& stop);
+                                  const StopCondition& stop) EXCLUDES(mu_);
 
   /// Launches one transport attempt (primary or hedge) on the call pool.
   void LaunchAttempt(std::uint32_t shard, const std::string& method,
                      std::uint64_t request_id, const std::string& payload,
                      const StopCondition& attempt_stop,
-                     const std::shared_ptr<CallState>& state, bool is_hedge);
+                     const std::shared_ptr<CallState>& state, bool is_hedge)
+      EXCLUDES(mu_);
 
   /// Builds the request's overall stop condition and applies the
   /// pre-fan-out deadline clamp. Returns false (and fills `shed_status`)
@@ -198,20 +200,30 @@ class ShardedExpansionService {
                     StopCondition* overall, Status* shed_status);
 
   /// Current hedge delay from the tracked latency quantile, in ms.
-  double HedgeDelayMs() const;
-  void RecordLatencyMs(double ms);
+  double HedgeDelayMs() const EXCLUDES(latency_mu_);
+  void RecordLatencyMs(double ms) EXCLUDES(latency_mu_);
 
   net::Transport& transport_;
   const ShardedExpansionOptions options_;
   const ConsistentRing ring_;
 
-  mutable std::mutex mu_;
-  ShardedServiceStats stats_;
-  std::vector<CircuitBreaker> health_;
-  Rng retry_rng_;
+  // Ranked kShardedRouter: admission/health/stats lock, outermost in the
+  // router. Never held across a transport call or a pool submit.
+  mutable Mutex mu_{lock_rank::kShardedRouter};
+  ShardedServiceStats stats_ GUARDED_BY(mu_);
+  /// CircuitBreakers are deliberately not internally synchronized — this
+  /// mutex is the lock their contract requires callers to hold.
+  std::vector<CircuitBreaker> health_ GUARDED_BY(mu_);
+  Rng retry_rng_ GUARDED_BY(mu_);
+
+  /// The latency window has its own reader/writer lock (ranked
+  /// kRouterLatency): HedgeDelayMs() runs on every attempt and only
+  /// reads, so readers proceed concurrently and never contend with the
+  /// admission path under mu_.
+  mutable SharedMutex latency_mu_{lock_rank::kRouterLatency};
   /// Ring buffer of recent call latencies feeding the hedge quantile.
-  std::vector<double> latency_samples_;
-  std::size_t latency_next_ = 0;
+  std::vector<double> latency_samples_ GUARDED_BY(latency_mu_);
+  std::size_t latency_next_ GUARDED_BY(latency_mu_) = 0;
 
   /// Pools declared last (destroyed first, while the state their tasks
   /// touch is alive). Fanout wrappers block on leaf calls, so the fanout

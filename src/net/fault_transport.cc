@@ -45,7 +45,7 @@ void FaultTransport::Unregister(std::uint32_t node) {
 void FaultTransport::StartPartition(const std::string& name,
                                     const std::vector<std::uint32_t>& side_a,
                                     const std::vector<std::uint32_t>& side_b) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   Partition& partition = partitions_[name];
   for (std::uint32_t node : side_a) {
     if (!SideContains(partition.side_a, node)) partition.side_a.push_back(node);
@@ -56,17 +56,17 @@ void FaultTransport::StartPartition(const std::string& name,
 }
 
 void FaultTransport::HealPartition(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   partitions_.erase(name);
 }
 
 void FaultTransport::HealAllPartitions() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   partitions_.clear();
 }
 
 bool FaultTransport::Partitioned(std::uint32_t a, std::uint32_t b) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (const auto& entry : partitions_) {
     const Partition& partition = entry.second;
     const bool cut = (SideContains(partition.side_a, a) &&
@@ -79,7 +79,7 @@ bool FaultTransport::Partitioned(std::uint32_t a, std::uint32_t b) const {
 }
 
 FaultTransport::FaultPlan FaultTransport::PlanCall(const Message& message) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const std::uint64_t op_index = ++op_count_;
 
   if (options_.heal_partitions_at_op != 0 &&
@@ -182,22 +182,22 @@ StatusOr<std::string> FaultTransport::Call(const Message& message,
 }
 
 std::vector<NetTraceEntry> FaultTransport::Trace() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return trace_;
 }
 
 std::uint64_t FaultTransport::faults_injected() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return fault_count_;
 }
 
 std::uint64_t FaultTransport::ops_observed() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return op_count_;
 }
 
 void FaultTransport::ClearTrace() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   trace_.clear();
 }
 

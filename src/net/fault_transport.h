@@ -4,10 +4,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "net/transport.h"
@@ -126,12 +126,14 @@ class FaultTransport final : public Transport {
   std::unique_ptr<Transport> owned_base_;
   Transport& base_;
 
-  mutable std::mutex mutex_;
-  Rng rng_;
-  std::uint64_t op_count_ = 0;
-  std::uint64_t fault_count_ = 0;
-  std::vector<NetTraceEntry> trace_;
-  std::map<std::string, Partition> partitions_;
+  // Ranked kFaultTransport: one lock acquisition plans a whole Call's
+  // fault schedule; released before the base transport delivers.
+  mutable Mutex mutex_{lock_rank::kFaultTransport};
+  Rng rng_ GUARDED_BY(mutex_);
+  std::uint64_t op_count_ GUARDED_BY(mutex_) = 0;
+  std::uint64_t fault_count_ GUARDED_BY(mutex_) = 0;
+  std::vector<NetTraceEntry> trace_ GUARDED_BY(mutex_);
+  std::map<std::string, Partition> partitions_ GUARDED_BY(mutex_);
 };
 
 }  // namespace ccdb::net

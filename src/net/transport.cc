@@ -11,7 +11,7 @@ Status LocalTransport::Register(std::uint32_t node, Handler handler) {
   if (!handler) {
     return Status::InvalidArgument("LocalTransport: handler must be callable");
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto [it, inserted] = nodes_.try_emplace(node);
   if (!inserted) {
     return Status::FailedPrecondition("LocalTransport: node already registered");
@@ -21,7 +21,7 @@ Status LocalTransport::Register(std::uint32_t node, Handler handler) {
 }
 
 void LocalTransport::Unregister(std::uint32_t node) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = nodes_.find(node);
   if (it == nodes_.end()) return;
   // Make the node invisible to new Calls first, then wait for deliveries
@@ -29,7 +29,7 @@ void LocalTransport::Unregister(std::uint32_t node) {
   // handler's captured state as soon as we return.
   std::shared_ptr<Handler> handler = std::move(it->second.handler);
   it->second.handler.reset();
-  drained_.wait(lock, [&] { return it->second.in_flight == 0; });
+  while (it->second.in_flight != 0) drained_.Wait(mutex_);
   nodes_.erase(it);
 }
 
@@ -38,7 +38,7 @@ StatusOr<std::string> LocalTransport::Call(const Message& message,
   if (Status stopped = stop.ToStatus(); !stopped.ok()) return stopped;
   std::shared_ptr<Handler> handler;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = nodes_.find(message.to);
     if (it == nodes_.end() || !it->second.handler) {
       return Status::Unavailable("LocalTransport: node unreachable");
@@ -48,10 +48,10 @@ StatusOr<std::string> LocalTransport::Call(const Message& message,
   }
   StatusOr<std::string> response = (*handler)(message);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = nodes_.find(message.to);
     if (it != nodes_.end() && --it->second.in_flight == 0) {
-      drained_.notify_all();
+      drained_.SignalAll();
     }
   }
   return response;

@@ -1,15 +1,14 @@
 #ifndef CCDB_NET_TRANSPORT_H_
 #define CCDB_NET_TRANSPORT_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "common/cancellation.h"
+#include "common/mutex.h"
 #include "common/status.h"
 
 namespace ccdb::net {
@@ -84,9 +83,11 @@ class LocalTransport final : public Transport {
     std::size_t in_flight = 0;
   };
 
-  mutable std::mutex mutex_;
-  std::condition_variable drained_;
-  std::map<std::uint32_t, Node> nodes_;
+  // Ranked kLocalTransport; never held across handler dispatch, so the
+  // handlers' own (lower-ranked) service locks never nest under it.
+  mutable Mutex mutex_{lock_rank::kLocalTransport};
+  CondVar drained_;
+  std::map<std::uint32_t, Node> nodes_ GUARDED_BY(mutex_);
 };
 
 /// Sleeps for `ms` wall milliseconds, probing `stop` every millisecond.

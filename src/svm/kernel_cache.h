@@ -25,7 +25,10 @@ struct KernelCacheStats {
 /// least-recently-used rows once the configured byte budget is exceeded.
 /// The budget always admits at least the row being requested, so Row()
 /// never fails; a budget of 0 degenerates to "recompute every row but the
-/// most recent". Not thread-safe — each solver owns one instance.
+/// most recent". Not thread-safe — each solver owns one instance, so per
+/// the lock-discipline convention (DESIGN.md §13) there is no mutex here:
+/// an owner that ever shares a cache must hold its own annotated lock and
+/// mark the member GUARDED_BY it.
 class KernelRowCache {
  public:
   /// `num_rows` distinct row slots of `row_length` doubles each; cached

@@ -1,20 +1,26 @@
 // Fixture: the negative case — idiomatic ccdb code that must produce zero
 // findings. Mentions of banned constructs live only in comments and
-// strings, waits are bounded, and discards are consumed.
-#include <chrono>
-#include <condition_variable>
-#include <mutex>
+// strings, locking goes through the annotated capability layer, and
+// discards are consumed.
 #include <string>
 
 int Produce();
 
+// Comments may say std::thread, rand(), throw, or wait() freely.
+// The clean locking idiom: the Mutex member is declared before the state
+// it protects, and everything after it is GUARDED_BY or exempt.
+class CleanCounter {
+ public:
+  void Increment();
+
+ private:
+  mutable ccdb::Mutex mu_;
+  ccdb::CondVar changed_;
+  int count_ GUARDED_BY(mu_) = 0;
+};
+
 int Fixture() {
-  // Comments may say std::thread, rand(), throw, or wait() freely.
   const std::string log = "worker used std::thread and called wait()";
-  std::mutex mu;
-  std::condition_variable cv;
-  std::unique_lock<std::mutex> lock(mu);
-  cv.wait_for(lock, std::chrono::milliseconds(1));
   const char* raw = R"(throw std::async (void)ignored)";
   const int value = Produce();
   return value + static_cast<int>(log.size()) + (raw != nullptr ? 1 : 0);

@@ -1,0 +1,12 @@
+// Fixture: unbounded member Wait() calls in cancellable code — the
+// capability-layer spelling of blocking-wait. Declarations and
+// definitions of Wait itself are not calls and stay silent; WaitFor is
+// bounded. Linted only by tests/lint_test.cc; never compiled.
+
+void Fixture(Ticket& ticket, Pool* pool, ccdb::CondVar& cv, ccdb::Mutex& mu) {
+  ticket.Wait();
+  pool->Wait();
+  cv.WaitFor(mu, 0.002);  // bounded: no finding
+  // ccdb-lint: allow(blocking-wait) — bounded by the flight deadline.
+  ticket.Wait();
+}

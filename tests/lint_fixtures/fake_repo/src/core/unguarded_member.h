@@ -1,0 +1,19 @@
+// Fixture: unguarded-member — every data member declared after a Mutex
+// must be GUARDED_BY it or carry an allow() naming the reason it needs no
+// lock. Linted only by tests/lint_test.cc; never compiled.
+#ifndef CCDB_CORE_UNGUARDED_MEMBER_H_
+#define CCDB_CORE_UNGUARDED_MEMBER_H_
+
+class BadCache {
+ private:
+  mutable ccdb::Mutex mu_;
+  int hits_ = 0;
+  std::string name_;
+  ccdb::CondVar changed_;
+  int entries_ GUARDED_BY(mu_) = 0;
+  // ccdb-lint: allow(unguarded-member) — written once in the constructor
+  // before any other thread can observe it; read-only afterwards.
+  int capacity_;
+};
+
+#endif  // CCDB_CORE_UNGUARDED_MEMBER_H_

@@ -1,0 +1,14 @@
+// Fixture: raw-mutex violations — std locking primitives bypass the
+// annotated capability layer (common/mutex.h), so thread-safety analysis
+// and lock-rank checking never see them. Linted only by
+// tests/lint_test.cc; never compiled, never tree-gated.
+#include <mutex>
+#include <shared_mutex>
+
+void Fixture() {
+  std::mutex mu;
+  std::lock_guard<std::mutex> lock(mu);
+  std::shared_mutex smu;
+  std::shared_lock<std::shared_mutex> rlock(smu);
+  std::condition_variable cv;  // ccdb-lint: allow(raw-mutex) — fixture
+}

@@ -52,9 +52,35 @@ class LintFixtureTest : public ::testing::Test {
 std::vector<Finding>* LintFixtureTest::findings_ = nullptr;
 
 TEST_F(LintFixtureTest, BlockingWaitFixture) {
+  // The raw std primitives the fixture waits on are themselves raw-mutex
+  // findings since the capability layer landed.
   EXPECT_EQ(KeysFor(*findings_, "src/core/bad_wait.cc"),
-            (std::vector<std::string>{"12:blocking-wait", "13:blocking-wait",
+            (std::vector<std::string>{"9:raw-mutex", "10:raw-mutex",
+                                      "11:raw-mutex", "12:blocking-wait",
+                                      "13:blocking-wait",
                                       "15:blocking-wait"}));
+}
+
+TEST_F(LintFixtureTest, MemberWaitFixture) {
+  // Capability-layer spelling: `x.Wait(` / `p->Wait(` calls are unbounded
+  // waits; WaitFor and the allow()'d call stay silent.
+  EXPECT_EQ(KeysFor(*findings_, "src/core/bad_member_wait.cc"),
+            (std::vector<std::string>{"7:blocking-wait",
+                                      "8:blocking-wait"}));
+}
+
+TEST_F(LintFixtureTest, RawMutexFixture) {
+  EXPECT_EQ(KeysFor(*findings_, "src/net/bad_raw_mutex.cc"),
+            (std::vector<std::string>{"9:raw-mutex", "10:raw-mutex",
+                                      "11:raw-mutex", "12:raw-mutex"}));
+}
+
+TEST_F(LintFixtureTest, UnguardedMemberFixture) {
+  // hits_/name_ follow the Mutex without GUARDED_BY; the CondVar is
+  // exempt, entries_ is guarded, capacity_ carries an allow().
+  EXPECT_EQ(KeysFor(*findings_, "src/core/unguarded_member.h"),
+            (std::vector<std::string>{"10:unguarded-member",
+                                      "11:unguarded-member"}));
 }
 
 TEST_F(LintFixtureTest, RngSourceFixture) {
@@ -122,7 +148,7 @@ TEST_F(LintFixtureTest, AllowSuppressionFixtureProducesNoFindings) {
 TEST_F(LintFixtureTest, FixtureTreeFindingsAreExactlyTheExpectedSet) {
   // Guards against a rule silently firing on a fixture it should not
   // touch: the per-file expectations above must cover every finding.
-  std::size_t expected = 3 + 4 + 2 + 1 + 2 + 3 + 2 + 2 + 3 + 3;
+  std::size_t expected = 6 + 4 + 2 + 1 + 2 + 3 + 2 + 2 + 3 + 3 + 2 + 4 + 2;
   EXPECT_EQ(findings_->size(), expected);
 }
 
@@ -180,6 +206,49 @@ TEST(LintContentsTest, RuleScopingFollowsPath) {
   EXPECT_TRUE(LintContents("src/core/sharded_service.cc",
                            "ShardedExpansionService router(t, opts);\n")
                   .empty());
+
+  // raw-mutex: everywhere but the capability layer itself and tests.
+  const std::string mutex_code = "std::mutex mu;\n";
+  EXPECT_EQ(LintContents("src/db/a.cc", mutex_code).size(), 1u);
+  EXPECT_EQ(LintContents("src/net/a.cc", mutex_code).size(), 1u);
+  EXPECT_TRUE(LintContents("src/common/mutex.h",
+                           "#ifndef CCDB_COMMON_MUTEX_H_\n"
+                           "#define CCDB_COMMON_MUTEX_H_\n" +
+                               mutex_code + "#endif\n")
+                  .empty());
+  EXPECT_TRUE(LintContents("src/common/mutex.cc", mutex_code).empty());
+  EXPECT_TRUE(LintContents("tests/a_test.cc", mutex_code).empty());
+
+  // Member Wait() calls: only call sites fire — declarations and
+  // qualified definitions are the implementations themselves.
+  EXPECT_EQ(LintContents("src/core/a.cc", "t.Wait();\n").size(), 1u);
+  EXPECT_EQ(LintContents("src/core/a.cc", "p->Wait();\n").size(), 1u);
+  EXPECT_TRUE(LintContents("src/core/a.cc",
+                           "SchemaExpansionResult Wait();\n")
+                  .empty());
+  EXPECT_TRUE(LintContents("src/core/a.cc",
+                           "void ExpansionService::Ticket::Wait() {}\n")
+                  .empty());
+  EXPECT_TRUE(LintContents("src/core/a.cc",
+                           "cv.WaitFor(mu, 0.002);\n")
+                  .empty());
+  EXPECT_TRUE(LintContents("src/svm/a.cc", "t.Wait();\n").empty());
+
+  // unguarded-member: the forward scan stops at the class close and the
+  // rule only applies under src/.
+  const std::string member_code =
+      "class C {\n"
+      "  Mutex mu_;\n"
+      "  int unguarded_;\n"
+      "  int guarded_ GUARDED_BY(mu_);\n"
+      "};\n"
+      "int free_variable;\n";
+  EXPECT_EQ(LintContents("src/db/a.h",
+                         "#ifndef CCDB_DB_A_H_\n#define CCDB_DB_A_H_\n" +
+                             member_code + "#endif\n")
+                .size(),
+            1u);
+  EXPECT_TRUE(LintContents("tools/a.cc", member_code).empty());
 }
 
 TEST(LintContentsTest, IncludeGuardVariants) {
@@ -302,12 +371,14 @@ TEST(BaselineTest, MissingBaselineReportsNotOk) {
 TEST(LintApiTest, AllRulesListsEveryRuleOnce) {
   const std::vector<std::string> rules = AllRules();
   const std::set<std::string> unique(rules.begin(), rules.end());
-  EXPECT_EQ(rules.size(), 9u);
+  EXPECT_EQ(rules.size(), 11u);
   EXPECT_EQ(unique.size(), rules.size());
   EXPECT_TRUE(unique.count(kRuleStatusNodiscard) > 0);
   EXPECT_TRUE(unique.count(kRuleBlockingWait) > 0);
   EXPECT_TRUE(unique.count(kRuleRawFileIo) > 0);
   EXPECT_TRUE(unique.count(kRuleTransportSeam) > 0);
+  EXPECT_TRUE(unique.count(kRuleRawMutex) > 0);
+  EXPECT_TRUE(unique.count(kRuleUnguardedMember) > 0);
 }
 
 TEST(LintApiTest, FormatFindingIsStable) {

@@ -13,9 +13,11 @@
 // tools, and examples. Positional arguments name directories (scanned
 // recursively) or individual files, relative to --root.
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <set>
 #include <string>
 #include <vector>
@@ -134,13 +136,28 @@ int main(int argc, char** argv) {
 
   int new_findings = 0;
   int baselined = 0;
+  std::map<std::string, int> per_rule;
   for (const ccdb::lint::Finding& f : findings) {
+    ++per_rule[f.rule];
     if (baseline.count(ccdb::lint::BaselineKey(f)) > 0) {
       ++baselined;
       continue;
     }
     ++new_findings;
     std::printf("%s\n", ccdb::lint::FormatFinding(f).c_str());
+  }
+  // Per-rule tally (new + baselined together) so lint_report.txt tracks
+  // the finding distribution over time even while the gate stays green.
+  std::printf("ccdb_lint: per-rule findings (incl. baselined):\n");
+  for (const std::string& rule : ccdb::lint::AllRules()) {
+    std::printf("  %-24s %d\n", rule.c_str(), per_rule[rule]);
+  }
+  for (const auto& [rule, count] : per_rule) {
+    if (std::find(ccdb::lint::AllRules().begin(),
+                  ccdb::lint::AllRules().end(),
+                  rule) == ccdb::lint::AllRules().end()) {
+      std::printf("  %-24s %d\n", rule.c_str(), count);
+    }
   }
   if (new_findings > 0) {
     std::printf("ccdb_lint: %d finding%s (%d baselined)\n", new_findings,

@@ -381,6 +381,24 @@ void CheckBlockingWait(const RuleContext& ctx) {
       }
       pos += 4;
     }
+    // The capability layer's CondVar::Wait and the blocking Wait() methods
+    // built on it (Ticket::Wait, ThreadPool::Wait) are just as unbounded.
+    // Only member CALLS are in scope: `x.Wait(` / `p->Wait(`. Declarations
+    // (`Result Wait();`) and definitions (`Ticket::Wait() {`) are the
+    // bounded implementations themselves, and WaitFor/WaitUntil escape via
+    // the identifier boundary.
+    pos = 0;
+    while ((pos = FindIdent(line, "Wait", pos)) != std::string::npos) {
+      const bool member_call =
+          (pos >= 1 && line[pos - 1] == '.') ||
+          (pos >= 2 && line[pos - 2] == '-' && line[pos - 1] == '>');
+      if (member_call && IdentIsCall(line, pos, 4)) {
+        ctx.Add(static_cast<int>(i + 1), kRuleBlockingWait,
+                "unbounded Wait() in cancellable code; use WaitFor with a "
+                "Deadline-derived budget (or justify with an allow())");
+      }
+      pos += 4;
+    }
   }
 }
 
@@ -528,6 +546,117 @@ void CheckTransportSeam(const RuleContext& ctx) {
   }
 }
 
+// --- rule: raw-mutex --------------------------------------------------------
+
+void CheckRawMutex(const RuleContext& ctx) {
+  // Every lock in the library goes through the annotated capability layer
+  // (common/mutex.h): Clang's thread-safety analysis and the lock-rank
+  // deadlock checks only see Mutex/MutexLock/CondVar, so a raw std::mutex
+  // is an unanalyzed, unranked blind spot. Only the wrapper itself may
+  // touch the std primitives; tests may build ad-hoc fixtures.
+  if (InDir(ctx.rel_path, "src/common/mutex.")) return;
+  if (InDir(ctx.rel_path, "src/common/thread_annotations.h")) return;
+  if (InDir(ctx.rel_path, "tests/")) return;
+  const std::string_view kBanned[] = {
+      "std::mutex",          "std::shared_mutex",
+      "std::timed_mutex",    "std::shared_timed_mutex",
+      "std::recursive_mutex", "std::recursive_timed_mutex",
+      "std::lock_guard",     "std::unique_lock",
+      "std::scoped_lock",    "std::shared_lock",
+      "std::condition_variable", "std::condition_variable_any"};
+  for (std::size_t i = 0; i < ctx.code_lines.size(); ++i) {
+    const std::string& line = ctx.code_lines[i];
+    for (std::string_view ident : kBanned) {
+      std::size_t pos = line.find(ident);
+      bool hit = false;
+      while (pos != std::string::npos && !hit) {
+        const std::size_t end = pos + ident.size();
+        if (end >= line.size() || !IsWordChar(line[end])) hit = true;
+        pos = line.find(ident, end);
+      }
+      if (hit) {
+        ctx.Add(static_cast<int>(i + 1), kRuleRawMutex,
+                std::string("locking goes through the annotated "
+                            "common/mutex.h capability layer (Mutex, "
+                            "MutexLock, CondVar), not ") +
+                    std::string(ident));
+        break;  // one diagnostic per line
+      }
+    }
+  }
+}
+
+// --- rule: unguarded-member -------------------------------------------------
+
+/// True when `line` declares a data member of one of the self-synchronized
+/// or synchronization-primitive types that need no GUARDED_BY.
+bool IsExemptMemberType(const std::string& line) {
+  for (std::string_view type :
+       {std::string_view("Mutex"), std::string_view("SharedMutex"),
+        std::string_view("CondVar"), std::string_view("ThreadPool")}) {
+    if (HasIdent(line, type)) return true;
+  }
+  return false;
+}
+
+void CheckUnguardedMember(const RuleContext& ctx) {
+  // Convention (DESIGN.md §13): within a class, the Mutex member is
+  // declared BEFORE the state it protects, and every data member declared
+  // after a Mutex carries a GUARDED_BY — or an allow(unguarded-member)
+  // stating why it needs none (internally synchronized, ctor-only, ...).
+  // This is a line-based heuristic, not a parser: it scans from each
+  // Mutex/SharedMutex member declaration to the enclosing closing brace
+  // and flags brace-level member declarations without an annotation.
+  if (!InDir(ctx.rel_path, "src/")) return;
+  if (InDir(ctx.rel_path, "src/common/mutex.")) return;
+  for (std::size_t i = 0; i < ctx.code_lines.size(); ++i) {
+    const std::string& decl = ctx.code_lines[i];
+    const bool is_mutex_decl =
+        (HasIdent(decl, "Mutex") || HasIdent(decl, "SharedMutex")) &&
+        !HasIdent(decl, "MutexLock") && decl.find(';') != std::string::npos &&
+        decl.find('(') == std::string::npos;
+    if (!is_mutex_decl) continue;
+    int depth = 0;
+    for (std::size_t j = i + 1; j < ctx.code_lines.size(); ++j) {
+      const std::string& line = ctx.code_lines[j];
+      int line_depth = depth;
+      bool closes_scope = false;
+      for (char c : line) {
+        if (c == '{') ++line_depth;
+        if (c == '}') {
+          --line_depth;
+          if (line_depth < 0) closes_scope = true;
+        }
+      }
+      if (closes_scope) break;  // end of the enclosing class/struct
+      const bool braced_line =
+          line.find('{') != std::string::npos ||
+          line.find('}') != std::string::npos;
+      if (depth == 0 && !braced_line && EndsWith(line, ";") &&
+          line.find('(') == std::string::npos && !IsExemptMemberType(line)) {
+        // Two identifiers minimum: a type and a member name.
+        std::size_t words = 0;
+        bool in_word = false;
+        for (char c : line) {
+          const bool w = IsWordChar(c);
+          if (w && !in_word) ++words;
+          in_word = w;
+        }
+        if (words >= 2 && !HasIdent(line, "GUARDED_BY") &&
+            !HasIdent(line, "PT_GUARDED_BY") && !HasIdent(line, "using") &&
+            !HasIdent(line, "static") && !HasIdent(line, "friend") &&
+            !HasIdent(line, "enum") && !HasIdent(line, "typedef")) {
+          ctx.Add(static_cast<int>(j + 1), kRuleUnguardedMember,
+                  "data member declared after a Mutex must be GUARDED_BY it "
+                  "(or carry an allow(unguarded-member) with the reason it "
+                  "needs no lock)");
+        }
+      }
+      depth = line_depth;
+    }
+  }
+}
+
 // --- rule: status-nodiscard ---------------------------------------------------
 
 void CheckStatusNodiscard(const RuleContext& ctx) {
@@ -620,7 +749,8 @@ std::vector<std::string> AllRules() {
           kRuleRawThread,       kRuleBlockingWait,
           kRuleNoThrow,         kRuleIncludeGuard,
           kRuleUsingNamespaceHeader, kRuleRawFileIo,
-          kRuleTransportSeam};
+          kRuleTransportSeam,   kRuleRawMutex,
+          kRuleUnguardedMember};
 }
 
 std::vector<Finding> LintContents(const std::string& rel_path,
@@ -640,6 +770,8 @@ std::vector<Finding> LintContents(const std::string& rel_path,
   CheckUsingNamespaceHeader(ctx);
   CheckRawFileIo(ctx);
   CheckTransportSeam(ctx);
+  CheckRawMutex(ctx);
+  CheckUnguardedMember(ctx);
 
   // An allow() on a line with code suppresses that line; an allow() on a
   // comment-only line suppresses the next line carrying code, so wrapped

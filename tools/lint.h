@@ -38,6 +38,8 @@ inline constexpr const char* kRuleIncludeGuard = "include-guard";
 inline constexpr const char* kRuleUsingNamespaceHeader = "using-namespace-header";
 inline constexpr const char* kRuleRawFileIo = "raw-file-io";
 inline constexpr const char* kRuleTransportSeam = "transport-seam";
+inline constexpr const char* kRuleRawMutex = "raw-mutex";
+inline constexpr const char* kRuleUnguardedMember = "unguarded-member";
 
 /// All rule IDs in a fixed order (for --list-rules and tests).
 std::vector<std::string> AllRules();
